@@ -1,0 +1,66 @@
+"""Figures 4a/4b (LAN) and 4d/4e (WAN): latency and throughput vs. #VC nodes.
+
+Paper setup: n = 200,000 ballots, m = 4 options, election data cached in
+memory, Nv in {4, 7, 10, 13, 16} logical VC nodes placed on 4 physical
+machines, and 500/1000/1500/2000 closed-loop concurrent clients.  The WAN
+variant injects 25 ms of one-way latency between VC nodes (netem in the
+paper).
+
+Expected shapes (paper vs. this model):
+* latency grows roughly linearly with the number of VC nodes (4a/4d);
+* throughput drops sharply from 4 to 7 VC nodes (~50%), then declines more
+  smoothly (4b/4e);
+* LAN and WAN deliver nearly identical throughput and similar latency,
+  because the protocol cost is CPU- not RTT-dominated (4a/4b vs 4d/4e).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.costmodel import CostModel, NetworkProfile
+from repro.perf.loadsim import VoteCollectionLoadSimulator
+
+VC_COUNTS = (4, 7, 10, 13, 16)
+CLIENT_COUNTS = (500, 1000, 1500, 2000)
+NUM_BALLOTS = 200_000
+NUM_OPTIONS = 4
+
+
+def run_sweep(network: NetworkProfile):
+    rows = []
+    for num_vc in VC_COUNTS:
+        for num_clients in CLIENT_COUNTS:
+            model = CostModel(
+                network=network, num_ballots=NUM_BALLOTS, num_options=NUM_OPTIONS
+            )
+            simulator = VoteCollectionLoadSimulator(num_vc, num_clients, model, seed=1)
+            result = simulator.run(target_votes=max(1500, num_clients), warmup_votes=300)
+            rows.append(result.as_row())
+    return rows
+
+
+@pytest.mark.benchmark(group="fig4-lan")
+def test_fig4ab_latency_throughput_lan(benchmark, results_sink):
+    """Figures 4a + 4b: response time and throughput vs #VC, LAN."""
+    save, show = results_sink
+    rows = benchmark.pedantic(lambda: run_sweep(NetworkProfile.lan()), rounds=1, iterations=1)
+    save("fig4ab_lan", rows)
+    show("Figure 4a/4b - LAN: latency (s) and throughput (ops/s) vs #VC", rows)
+    # Shape assertions: latency grows with #VC, throughput declines.
+    for cc in CLIENT_COUNTS:
+        series = [r for r in rows if r["num_clients"] == cc]
+        assert series[0]["throughput_ops"] > series[-1]["throughput_ops"]
+        assert series[-1]["mean_latency_s"] > series[0]["mean_latency_s"]
+
+
+@pytest.mark.benchmark(group="fig4-wan")
+def test_fig4de_latency_throughput_wan(benchmark, results_sink):
+    """Figures 4d + 4e: response time and throughput vs #VC, emulated WAN."""
+    save, show = results_sink
+    rows = benchmark.pedantic(lambda: run_sweep(NetworkProfile.wan()), rounds=1, iterations=1)
+    save("fig4de_wan", rows)
+    show("Figure 4d/4e - WAN: latency (s) and throughput (ops/s) vs #VC", rows)
+    for cc in CLIENT_COUNTS:
+        series = [r for r in rows if r["num_clients"] == cc]
+        assert series[0]["throughput_ops"] > series[-1]["throughput_ops"]

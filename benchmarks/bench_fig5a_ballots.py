@@ -1,0 +1,51 @@
+"""Figure 5a: vote-collection throughput vs. total election ballots ``n``.
+
+Paper setup: referendum (m = 2), PostgreSQL-backed election data, 4 VC nodes,
+400 concurrent clients, n swept from 50 million to 250 million ballots
+(the 2012 US voting population was 235 million); 200,000 ballots are cast to
+reach steady state.
+
+Expected shape: throughput declines slowly (roughly 2x across the 5x increase
+in electorate size), because the per-vote ballot lookup cost grows with the
+database size while everything else stays constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.costmodel import CostModel, DatabaseCosts
+from repro.perf.loadsim import VoteCollectionLoadSimulator
+
+BALLOT_COUNTS = (50_000_000, 100_000_000, 150_000_000, 200_000_000, 250_000_000)
+NUM_CLIENTS = 400
+NUM_VC = 4
+NUM_OPTIONS = 2
+
+
+def run_sweep():
+    rows = []
+    for num_ballots in BALLOT_COUNTS:
+        model = CostModel(
+            database=DatabaseCosts(), num_ballots=num_ballots, num_options=NUM_OPTIONS
+        )
+        simulator = VoteCollectionLoadSimulator(NUM_VC, NUM_CLIENTS, model, seed=3)
+        result = simulator.run(target_votes=800, warmup_votes=100)
+        row = result.as_row()
+        row["num_ballots_millions"] = num_ballots // 1_000_000
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_throughput_vs_electorate_size(benchmark, results_sink):
+    """Figure 5a: throughput vs n (50M - 250M ballots), disk-backed."""
+    save, show = results_sink
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save("fig5a_ballots", rows)
+    show("Figure 5a: throughput (ops/s) vs electorate size (millions of ballots)", rows)
+    throughputs = [row["throughput_ops"] for row in rows]
+    # Slow, monotone decline: the largest electorate is slower than the
+    # smallest, but by a modest factor (the paper reports roughly 75 -> 40).
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert 1.3 < throughputs[0] / throughputs[-1] < 4.0

@@ -1,0 +1,49 @@
+"""Figure 5b: vote-collection throughput vs. the number of election options ``m``.
+
+Paper setup: n = 200,000 ballots, PostgreSQL-backed, 4 VC nodes, 400
+concurrent clients, m swept from 2 to 10.
+
+Expected shape: throughput is roughly flat in m, with only a slight decline
+caused by the extra hash verifications (and row fetches) during vote-code
+validation -- the paper reports roughly 185 -> 158 ops/s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.costmodel import CostModel, DatabaseCosts
+from repro.perf.loadsim import VoteCollectionLoadSimulator
+
+OPTION_COUNTS = tuple(range(2, 11))
+NUM_CLIENTS = 400
+NUM_VC = 4
+NUM_BALLOTS = 200_000
+
+
+def run_sweep():
+    rows = []
+    for num_options in OPTION_COUNTS:
+        model = CostModel(
+            database=DatabaseCosts(), num_ballots=NUM_BALLOTS, num_options=num_options
+        )
+        simulator = VoteCollectionLoadSimulator(NUM_VC, NUM_CLIENTS, model, seed=4)
+        result = simulator.run(target_votes=800, warmup_votes=100)
+        row = result.as_row()
+        row["num_options"] = num_options
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_throughput_vs_number_of_options(benchmark, results_sink):
+    """Figure 5b: throughput vs m (2 - 10 options)."""
+    save, show = results_sink
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save("fig5b_options", rows)
+    show("Figure 5b: throughput (ops/s) vs number of options m", rows)
+    throughputs = [row["throughput_ops"] for row in rows]
+    # Nearly constant: the m = 10 election keeps at least ~75% of the m = 2
+    # throughput (the paper's decline is about 15%).
+    assert min(throughputs) > 0.7 * max(throughputs)
+    assert throughputs[0] >= throughputs[-1]

@@ -1,0 +1,50 @@
+"""Figure 5c: duration of every system phase vs. the number of cast ballots.
+
+Paper setup: 4 VC nodes, n = 200,000 registered ballots, m = 4 options,
+PostgreSQL-backed; phases measured for 50k / 100k / 150k / 200k cast ballots
+assuming immediate phase succession.
+
+Phases: Vote Collection, Vote Set Consensus, Push to BB + encrypted tally,
+Publish result.
+
+Expected shape: vote collection dominates and grows linearly with the number
+of cast ballots; the three post-election phases are comparatively short (the
+paper's point: once voting ends, the tally is published quickly even with
+full Byzantine fault tolerance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.phases import phase_sweep
+
+CAST_COUNTS = (50_000, 100_000, 150_000, 200_000)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5c_phase_breakdown(benchmark, results_sink):
+    """Figure 5c: per-phase duration vs #ballots cast."""
+    save, show = results_sink
+    phases = benchmark.pedantic(
+        lambda: phase_sweep(CAST_COUNTS, registered_ballots=200_000, num_vc=4, num_options=4),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [p.as_row() for p in phases]
+    save("fig5c_phases", rows)
+    show("Figure 5c: phase durations (s) vs #ballots cast", rows)
+
+    for p in phases:
+        # Vote collection dominates every post-election phase.
+        assert p.vote_collection_s > p.vote_set_consensus_s
+        assert p.vote_collection_s > p.push_to_bb_s
+        assert p.vote_collection_s > p.publish_result_s
+    # Vote collection grows linearly with cast ballots.
+    assert phases[-1].vote_collection_s == pytest.approx(
+        4 * phases[0].vote_collection_s, rel=0.05
+    )
+    # Post-election phases stay a small fraction of the total at full scale.
+    last = phases[-1]
+    post_election = last.vote_set_consensus_s + last.push_to_bb_s + last.publish_result_s
+    assert post_election < 0.5 * last.vote_collection_s

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the cryptographic substrates.
+
+These are not figures from the paper; they calibrate and sanity-check the
+cost model used by the figure benchmarks (e.g. the relative cost of signature
+verification vs. hashing) and track performance regressions of the library
+itself.  They use pytest-benchmark's normal statistics (multiple rounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.commitments import OptionEncodingScheme
+from repro.crypto.elgamal import LiftedElGamal
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.shamir import ShamirSecretSharing
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.symmetric import VoteCodeCipher, commit_vote_code, random_vote_code
+from repro.crypto.utils import RandomSource
+from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier, fiat_shamir_challenge
+
+GROUP = SchnorrGroup()
+ELGAMAL = LiftedElGamal(GROUP)
+KEYS = ELGAMAL.keygen(RandomSource(1))
+SIGNER = SignatureScheme(GROUP)
+SIGNING_KEYS = SIGNER.keygen(RandomSource(2))
+SCHEME = OptionEncodingScheme(4, KEYS.public, GROUP)
+PROVER = BallotCorrectnessProver(KEYS.public, GROUP)
+VERIFIER = BallotCorrectnessVerifier(KEYS.public, GROUP)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_schnorr_sign(benchmark):
+    benchmark(SIGNER.sign, SIGNING_KEYS, b"ENDORSEMENT|serial|vote-code")
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_schnorr_verify(benchmark):
+    signature = SIGNER.sign(SIGNING_KEYS, b"msg")
+    benchmark(SIGNER.verify, SIGNING_KEYS.public, b"msg", signature)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_elgamal_encrypt(benchmark):
+    benchmark(ELGAMAL.encrypt, KEYS.public, 1)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_option_commitment(benchmark):
+    benchmark(SCHEME.commit_option, 2)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_zk_prove(benchmark):
+    commitment, opening = SCHEME.commit_option(1)
+
+    def prove():
+        announcement, state = PROVER.first_move(commitment, opening)
+        challenge = fiat_shamir_challenge(GROUP, commitment, announcement)
+        return PROVER.respond(state, challenge)
+
+    benchmark(prove)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_zk_verify(benchmark):
+    commitment, opening = SCHEME.commit_option(1)
+    announcement, state = PROVER.first_move(commitment, opening)
+    challenge = fiat_shamir_challenge(GROUP, commitment, announcement)
+    response = PROVER.respond(state, challenge)
+    benchmark(VERIFIER.verify, commitment, announcement, challenge, response)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_shamir_share_and_reconstruct(benchmark):
+    sss = ShamirSecretSharing(3, 4)
+
+    def roundtrip():
+        shares = sss.share(123456789, rng=RandomSource(5))
+        return sss.reconstruct(shares[:3])
+
+    benchmark(roundtrip)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_vote_code_hash_validation(benchmark):
+    code = random_vote_code(RandomSource(6))
+    commitment = commit_vote_code(code, rng=RandomSource(7))
+    benchmark(commitment.matches, code)
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_bench_vote_code_encryption(benchmark):
+    cipher = VoteCodeCipher(VoteCodeCipher.generate_key(RandomSource(8)))
+    code = random_vote_code(RandomSource(9))
+    benchmark(cipher.encrypt, code)

@@ -1,0 +1,84 @@
+"""Table I: per-step clock upper bounds of the liveness proof (Theorem 1).
+
+The paper's Table I tracks, for every step of the interaction between a voter
+and an honest responder VC node, upper bounds on the global clock and on the
+internal clocks of the voter, the responder and the other honest VC nodes,
+expressed in terms of Tcomp (worst-case local computation), Delta (clock
+drift bound) and delta (message delay bound).  The final voter-clock bound is
+the patience window ``Twait = (2Nv + 4) Tcomp + 12 Delta + 6 delta``.
+
+This benchmark regenerates the table symbolically and numerically for a
+representative deployment (Nv = 4, Tcomp = 10 ms, Delta = 100 ms,
+delta = 50 ms) and reports Twait and the receipt-probability bounds for
+several deployment sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import (
+    liveness_table,
+    receipt_deadline_guaranteed,
+    receipt_probability_lower_bound,
+    table_as_rows,
+    twait,
+)
+
+TCOMP = 0.010
+DRIFT = 0.100
+DELAY = 0.050
+
+
+def build_tables():
+    symbolic = [
+        {
+            "step": bound.step,
+            "global_clock": bound.global_clock.formula(),
+            "voter_clock": bound.voter_clock.formula(),
+            "responder_clock": bound.responder_clock.formula(),
+            "honest_vc_clocks": bound.honest_vc_clocks.formula(),
+        }
+        for bound in liveness_table()
+    ]
+    numeric = table_as_rows(4, TCOMP, DRIFT, DELAY)
+    summary = []
+    for num_vc in (4, 7, 10, 13, 16):
+        fv = (num_vc - 1) // 3
+        summary.append(
+            {
+                "num_vc": num_vc,
+                "twait_s": round(twait(num_vc, TCOMP, DRIFT, DELAY), 3),
+                "guaranteed_deadline_before_end_s": round(
+                    3600.0 - receipt_deadline_guaranteed(num_vc, TCOMP, DRIFT, DELAY, 3600.0), 3
+                ),
+                "receipt_prob_after_1_window": round(receipt_probability_lower_bound(1), 4),
+                "receipt_prob_after_fv_windows": round(receipt_probability_lower_bound(fv), 6),
+            }
+        )
+    return symbolic, numeric, summary
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_liveness_bounds(benchmark, results_sink):
+    """Table I: symbolic and numeric clock bounds, plus Twait per deployment."""
+    save, show = results_sink
+    symbolic, numeric, summary = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    save("table1_symbolic", symbolic)
+    save("table1_numeric", numeric)
+    save("table1_twait_summary", summary)
+    show("Table I (symbolic clock upper bounds)", symbolic)
+    show(f"Table I (numeric, Nv=4, Tcomp={TCOMP}s, Delta={DRIFT}s, delta={DELAY}s)",
+         [{**row, **{k: round(v, 3) for k, v in row.items() if isinstance(v, float)}}
+          for row in numeric])
+    show("Twait and receipt-probability bounds per deployment size", summary)
+
+    # The last row's voter clock equals Twait, as the proof requires.
+    last = liveness_table()[-1]
+    for num_vc in (4, 7, 16):
+        assert last.voter_clock.evaluate(num_vc, TCOMP, DRIFT, DELAY) == pytest.approx(
+            twait(num_vc, TCOMP, DRIFT, DELAY)
+        )
+    # Bounds must be monotone down the table.
+    globals_ = [row["global_clock"] for row in numeric]
+    assert globals_ == sorted(globals_)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fault injection: the election survives Byzantine components.
+
+This example runs the same election three times:
+
+1. fully honest (baseline);
+2. with one silent (crashed) Vote Collector, one equivocating Vote Collector
+   replaced **in separate runs** to stay within fv < Nv/3, and
+3. with one Bulletin Board node that answers every read with an empty state.
+
+In every run the voters still obtain valid receipts, the published tally is
+identical to the honest baseline, and the audit passes -- exactly the
+guarantees of Theorems 1-3 under the paper's fault thresholds.
+
+Run with:  python examples/byzantine_fault_injection.py
+"""
+
+from repro.core.byzantine import (
+    EquivocatingVoteCollector,
+    SilentVoteCollector,
+    WithholdingBulletinBoard,
+)
+from repro.core.coordinator import ElectionCoordinator
+from repro.core.election import ElectionParameters
+
+CHOICES = ["option-1", "option-2", "option-1", "option-1"]
+
+
+def run(label, vc_classes=None, bb_classes=None, seed=99):
+    params = ElectionParameters.small_test_election(
+        num_voters=len(CHOICES), num_options=2, election_end=400.0
+    )
+    coordinator = ElectionCoordinator(
+        params, seed=seed,
+        vc_node_classes=vc_classes or {},
+        bb_node_classes=bb_classes or {},
+    )
+    outcome = coordinator.run_election(CHOICES, voter_patience=10.0)
+    receipts = f"{outcome.receipts_obtained}/{len(outcome.voters)} receipts"
+    print(f"{label:<38} {receipts:<16} tally={outcome.tally.as_dict()} "
+          f"audit={'pass' if outcome.audit_report.passed else 'FAIL'}")
+    return outcome
+
+
+def main() -> None:
+    print("scenario                               receipts         result")
+    print("-" * 100)
+    baseline = run("honest baseline")
+    silent = run("one crashed VC node (VC-2 silent)",
+                 vc_classes={"VC-2": SilentVoteCollector})
+    equivocating = run("one equivocating VC node (VC-3)",
+                       vc_classes={"VC-3": EquivocatingVoteCollector})
+    withholding = run("one withholding BB node (BB-1)",
+                      bb_classes={"BB-1": WithholdingBulletinBoard})
+
+    expected = baseline.tally.as_dict()
+    for outcome in (silent, equivocating, withholding):
+        assert outcome.tally.as_dict() == expected
+        assert outcome.all_receipts_valid
+        assert outcome.audit_report.passed
+    print("\nAll faulty runs produced the same tally as the honest baseline,")
+    print("every voter obtained a valid receipt, and every audit passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run a complete D-DEMOS election in a few lines.
+
+This example sets up a small election (5 voters, 3 options, 4 Vote Collector
+nodes, 3 Bulletin Board nodes, 3 trustees with a 2-of-3 threshold), lets the
+voters cast their votes over the simulated network, runs Vote Set Consensus,
+tabulates the result through the trustees and finally audits the whole thing.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core.coordinator import ElectionCoordinator
+from repro.core.election import ElectionParameters
+
+
+def main() -> None:
+    params = ElectionParameters.small_test_election(
+        num_voters=5,
+        num_options=3,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_end=500.0,
+    )
+    print(f"Election: {params.num_voters} voters, {params.num_options} options, "
+          f"{params.thresholds.num_vc} VC nodes, {params.thresholds.num_bb} BB nodes, "
+          f"{params.thresholds.num_trustees} trustees")
+
+    coordinator = ElectionCoordinator(params, seed=2024)
+    choices = ["option-1", "option-3", "option-1", "option-2", "option-1"]
+    outcome = coordinator.run_election(choices)
+
+    print("\n--- voting phase ---")
+    for voter in outcome.voters:
+        status = "valid receipt" if voter.receipt_valid else "NO RECEIPT"
+        print(f"  {voter.node_id}: chose {voter.choice!r} using part {voter.part_name} "
+              f"-> {status} after {voter.attempts} attempt(s)")
+
+    print("\n--- published result (majority of BB nodes) ---")
+    for option, count in outcome.tally.as_dict().items():
+        print(f"  {option}: {count}")
+    print(f"  winner: {outcome.tally.winner()}")
+    assert outcome.tally.as_dict() == outcome.expected_tally().as_dict()
+
+    print("\n--- audit ---")
+    report = outcome.audit_report
+    print(f"  checks performed: {len(report.checks)}; all passed: {report.passed}")
+    for name, ok in sorted(report.checks.items()):
+        print(f"    [{'ok' if ok else 'FAIL'}] {name}")
+
+    print("\n--- network statistics ---")
+    print(f"  messages sent: {outcome.network.messages_sent}, "
+          f"delivered: {outcome.network.messages_delivered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Analytical results of the paper: liveness bounds (Theorem 1 / Table I),
+safety (Theorem 2 / Corollary 1), end-to-end verifiability (Theorem 3) and
+voter privacy (Theorem 4).
+"""
+
+from repro.analysis.liveness import LivenessBound, TimeBound, liveness_table, twait
+from repro.analysis.verification import (
+    e2e_verifiability_error,
+    fraud_undetected_probability,
+    safety_failure_probability,
+    safety_failure_probability_union,
+    receipt_probability_lower_bound,
+)
+
+__all__ = [
+    "LivenessBound",
+    "TimeBound",
+    "liveness_table",
+    "twait",
+    "e2e_verifiability_error",
+    "fraud_undetected_probability",
+    "safety_failure_probability",
+    "safety_failure_probability_union",
+    "receipt_probability_lower_bound",
+]

@@ -1,0 +1,226 @@
+"""Auditors: anyone can verify the complete election process.
+
+Section III-I lists the checks an auditor performs after reading the BB:
+
+a) within each opened ballot, no two vote codes are the same;
+b) there are no two submitted vote codes associated with any single ballot part;
+c) within each ballot, no more than one part has been used;
+d) all the openings of the commitments are valid;
+e) all the zero-knowledge proofs associated with used ballot parts are
+   completed and valid;
+
+and, when voters delegate their audit information:
+
+f) the submitted vote codes are consistent with the ones received from voters;
+g) the openings of the unused ballot parts are consistent with the ones
+   received from voters.
+
+As the number of independent auditors grows, the probability that election
+fraud goes undetected shrinks exponentially (1/2 per audited ballot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ballot import PARTS
+from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
+from repro.core.election import ElectionParameters
+from repro.core.voter import VoterAuditInfo
+from repro.crypto.commitments import OptionEncodingScheme
+from repro.crypto.group import Group
+from repro.crypto.zkp import BallotCorrectnessVerifier
+
+
+@dataclass
+class AuditReport:
+    """The outcome of an audit: per-check verdicts plus failure details."""
+
+    checks: Dict[str, bool] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every performed check succeeded."""
+        return all(self.checks.values())
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks[name] = self.checks.get(name, True) and ok
+        if not ok:
+            self.failures.append(f"{name}: {detail}" if detail else name)
+
+
+class Auditor:
+    """A third-party auditor reading the BB through a majority reader."""
+
+    def __init__(
+        self,
+        bb_nodes: Sequence[BulletinBoardNode],
+        params: ElectionParameters,
+        group: Group,
+    ):
+        self.params = params
+        self.group = group
+        self.reader = MajorityReader(bb_nodes, params)
+        # Any single honest node's static init data equals the majority's; we
+        # still fetch the pieces we verify through the majority reader.
+        self._bb_nodes = list(bb_nodes)
+
+    # -- full audit -------------------------------------------------------------
+
+    def audit(self, delegations: Sequence[VoterAuditInfo] = ()) -> AuditReport:
+        """Run checks (a)-(e), plus (f)-(g) for any delegating voters."""
+        report = AuditReport()
+        vote_set = self.reader.read(lambda node: node.accepted_vote_set)
+        decrypted = self.reader.read(lambda node: node.decrypted_vote_codes)
+        result = self.reader.read(
+            lambda node: node.result if node.result is not None else None
+        )
+        if vote_set is None or result is None:
+            report.record("bb-ready", False, "BB has not published the final data yet")
+            return report
+        report.record("bb-ready", True)
+
+        commitment_key = self.reader.read(lambda node: node.init.commitment_public_key)
+        scheme = OptionEncodingScheme(self.params.num_options, commitment_key, self.group)
+        verifier = BallotCorrectnessVerifier(commitment_key, self.group)
+
+        self._check_unique_vote_codes(report, decrypted)
+        self._check_single_submission(report, vote_set)
+        cast_locations = self._check_single_part_used(report, vote_set, decrypted)
+        self._check_openings(report, scheme, result)
+        self._check_proofs(report, verifier, result)
+        for info in delegations:
+            self.verify_delegation(info, report, vote_set, result)
+        return report
+
+    # -- individual checks --------------------------------------------------------
+
+    def _check_unique_vote_codes(self, report: AuditReport, decrypted) -> None:
+        """(a) no duplicate vote codes within an opened ballot."""
+        for serial, parts in decrypted.items():
+            codes = [code for part_codes in parts.values() for code in part_codes]
+            ok = len(codes) == len(set(codes))
+            report.record("a-unique-vote-codes", ok, f"ballot {serial} has duplicate codes")
+
+    def _check_single_submission(self, report: AuditReport, vote_set) -> None:
+        """(b) at most one submitted vote code per ballot."""
+        serials = [serial for serial, _ in vote_set]
+        ok = len(serials) == len(set(serials))
+        report.record("b-single-submission", ok, "a ballot appears twice in the vote set")
+
+    def _check_single_part_used(self, report: AuditReport, vote_set, decrypted):
+        """(c) within each ballot at most one part is used; returns cast locations."""
+        cast_locations: Dict[int, Tuple[str, int]] = {}
+        for serial, code in vote_set:
+            parts_hit = set()
+            location = None
+            for part_name, codes in decrypted.get(serial, {}).items():
+                for index, candidate in enumerate(codes):
+                    if candidate == code:
+                        parts_hit.add(part_name)
+                        location = (part_name, index)
+            ok = len(parts_hit) <= 1
+            report.record("c-single-part-used", ok, f"ballot {serial} uses both parts")
+            if location is not None:
+                cast_locations[serial] = location
+        return cast_locations
+
+    def _check_openings(self, report: AuditReport, scheme, result) -> None:
+        """(d) every published commitment opening is valid and well formed."""
+        ballots = self.reader.read(lambda node: node.init.ballots)
+        for (serial, part), openings in result.openings.items():
+            rows = ballots[serial].rows[part]
+            for row, opening in zip(rows, openings):
+                ok = scheme.verify_opening(row.commitment, opening)
+                report.record(
+                    "d-valid-openings", ok, f"ballot {serial} part {part}: bad opening"
+                )
+                ok_unit = scheme.is_valid_option_encoding(opening)
+                report.record(
+                    "d-openings-are-unit-vectors",
+                    ok_unit,
+                    f"ballot {serial} part {part}: opening is not a unit vector",
+                )
+
+    def _check_proofs(self, report: AuditReport, verifier, result) -> None:
+        """(e) ZK proofs of used parts are complete and valid."""
+        ballots = self.reader.read(lambda node: node.init.ballots)
+        for (serial, part), responses in result.proof_responses.items():
+            rows = ballots[serial].rows[part]
+            if len(responses) != len(rows):
+                report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
+                continue
+            for row, response in zip(rows, responses):
+                if row.proof_announcement is None:
+                    report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
+                    continue
+                ok = verifier.verify(
+                    row.commitment, row.proof_announcement, result.challenge, response
+                )
+                report.record(
+                    "e-proofs-valid", ok, f"ballot {serial} part {part}: invalid proof"
+                )
+
+    # -- delegated verification ---------------------------------------------------
+
+    def verify_delegation(
+        self,
+        info: VoterAuditInfo,
+        report: Optional[AuditReport] = None,
+        vote_set=None,
+        result=None,
+    ) -> AuditReport:
+        """(f)+(g): check a delegating voter's cast code and unused part."""
+        report = report if report is not None else AuditReport()
+        if vote_set is None:
+            vote_set = self.reader.read(lambda node: node.accepted_vote_set)
+        if result is None:
+            result = self.reader.read(
+                lambda node: node.result if node.result is not None else None
+            )
+        if vote_set is None or result is None:
+            report.record("bb-ready", False, "BB has not published the final data yet")
+            return report
+
+        # (f) the cast vote code appears in the published vote set.
+        cast_ok = (info.serial, info.cast_vote_code) in set(vote_set)
+        report.record("f-cast-code-published", cast_ok, f"ballot {info.serial}")
+
+        # (g) the opened unused part matches what the voter received.
+        key = (info.serial, info.unused_part_name)
+        openings = result.openings.get(key)
+        decrypted = self.reader.read(lambda node: node.decrypted_vote_codes)
+        codes = decrypted.get(info.serial, {}).get(info.unused_part_name)
+        if openings is None or codes is None:
+            report.record("g-unused-part-opened", False, f"ballot {info.serial}: not opened")
+            return report
+        report.record("g-unused-part-opened", True)
+        # Rebuild the (vote code -> option) association from the opened rows
+        # and compare with the voter's printed lines.
+        published = {}
+        for code, opening in zip(codes, openings):
+            if sum(opening.values) == 1 and all(v in (0, 1) for v in opening.values):
+                option_index = list(opening.values).index(1)
+                published[code] = self.params.options[option_index]
+            else:
+                report.record("g-unused-part-consistent", False,
+                              f"ballot {info.serial}: opened row is not a unit vector")
+                return report
+        expected = {line.vote_code: line.option for line in info.unused_part_lines}
+        consistent = published == expected
+        report.record("g-unused-part-consistent", consistent, f"ballot {info.serial}")
+        return report
+
+
+def fraud_detection_probability(num_auditors: int) -> float:
+    """Probability that ballot fraud is detected by at least one of ``num_auditors``.
+
+    Each audited ballot catches a malicious EA with probability 1/2, so fraud
+    goes undetected with probability ``2^-num_auditors`` (the paper's example:
+    10 auditors leave only 1/1024 ~ 0.00097 undetected probability).
+    """
+    if num_auditors < 0:
+        raise ValueError("the number of auditors cannot be negative")
+    return 1.0 - 0.5 ** num_auditors

@@ -1,0 +1,370 @@
+"""Bulletin Board (BB) nodes and the majority reader.
+
+A BB node (Section III-G) is a public repository of election information.
+BB nodes never talk to each other; robustness comes from controlling writes
+and from readers consulting a majority:
+
+* its initialization data (encrypted vote codes, commitments, ZK first moves)
+  is published immediately after setup;
+* during voting hours the node is inert;
+* after the election it accepts the final vote-code set once ``fv + 1``
+  identical copies arrive from distinct VC nodes, and reconstructs ``msk``
+  once ``Nv - fv`` valid key shares arrive, after which it decrypts and
+  publishes every vote code;
+* trustee writes are verified against the trustees' public keys; once the
+  trustee threshold ``ht`` is reached the node reconstructs the openings of
+  the audited parts, the final ZK proof moves, and the opening of the
+  homomorphic tally total, verifies everything, and publishes the result.
+
+Readers (voters, auditors, trustees) issue the same read to every BB node and
+keep the answer returned by a majority (``fb + 1`` identical replies); that
+logic lives in :class:`MajorityReader`, the library equivalent of the paper's
+Firefox extension.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ballot import PARTS
+from repro.core.ea import BbInitData
+from repro.core.election import ElectionParameters
+from repro.core.messages import MskShareUpload, VoteSetUpload
+from repro.core.tally import (
+    TallyResult,
+    combine_tally_commitments,
+    open_tally,
+    voter_coin_challenge,
+)
+from repro.core.trustee import BbElectionView, TrusteeSubmission
+from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
+from repro.crypto.group import Group
+from repro.crypto.pedersen_vss import PedersenVSS
+from repro.crypto.shamir import ShamirSecretSharing, SigningDealer
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.symmetric import VoteCodeCipher
+from repro.crypto.utils import int_to_bytes
+from repro.crypto.zkp import (
+    BallotCorrectnessVerifier,
+    BallotProofResponse,
+    OrProofResponse,
+    SumProofResponse,
+)
+from repro.net.channels import Message
+from repro.net.simulator import SimNode
+
+
+@dataclass
+class PublishedResult:
+    """What a BB node publishes at the very end of the election."""
+
+    tally: TallyResult
+    challenge: int
+    #: (serial, part) -> tuple of per-row openings, for audited (opened) parts
+    openings: Dict[Tuple[int, str], Tuple[CommitmentOpening, ...]]
+    #: (serial, part) -> tuple of per-row proof responses, for used parts
+    proof_responses: Dict[Tuple[int, str], Tuple[BallotProofResponse, ...]]
+
+
+class BulletinBoardNode(SimNode):
+    """One isolated Bulletin Board node."""
+
+    def __init__(self, node_id: str, init: BbInitData, params: ElectionParameters, group: Group):
+        super().__init__(node_id)
+        self.init = init
+        self.params = params
+        self.group = group
+        self.thresholds = params.thresholds
+        self.signature_scheme = SignatureScheme(group)
+        self.msk_sss = ShamirSecretSharing(
+            self.thresholds.vc_honest_quorum, self.thresholds.num_vc
+        )
+        self.scheme = OptionEncodingScheme(
+            params.num_options, init.commitment_public_key, group
+        )
+
+        # Mutable published state.
+        self.vote_set_submissions: Dict[str, Tuple[Tuple[int, bytes], ...]] = {}
+        self.accepted_vote_set: Optional[Tuple[Tuple[int, bytes], ...]] = None
+        self.msk_shares: Dict[str, object] = {}
+        self.msk: Optional[bytes] = None
+        #: serial -> part -> tuple of decrypted vote codes (row order)
+        self.decrypted_vote_codes: Dict[int, Dict[str, Tuple[bytes, ...]]] = {}
+        self.trustee_submissions: Dict[str, TrusteeSubmission] = {}
+        self.result: Optional[PublishedResult] = None
+
+    # ------------------------------------------------------------------ network writes (VC -> BB)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, VoteSetUpload):
+            self.receive_vote_set(payload.sender, payload.vote_set)
+        elif isinstance(payload, MskShareUpload):
+            self.receive_msk_share(payload.sender, payload.share)
+
+    def receive_vote_set(self, vc_node: str, vote_set: Tuple[Tuple[int, bytes], ...]) -> None:
+        """Accept the final vote set once fv + 1 identical copies arrive."""
+        if vc_node not in self.init.vc_public_keys:
+            return
+        self.vote_set_submissions[vc_node] = tuple(vote_set)
+        if self.accepted_vote_set is not None:
+            return
+        counts = Counter(self.vote_set_submissions.values())
+        needed = self.thresholds.max_faulty_vc + 1
+        for candidate, count in counts.items():
+            if count >= needed:
+                self.accepted_vote_set = candidate
+                break
+
+    def receive_msk_share(self, vc_node: str, share) -> None:
+        """Collect msk shares; reconstruct and decrypt once Nv - fv arrive."""
+        if self.msk is not None or vc_node not in self.init.vc_public_keys:
+            return
+        if not SigningDealer.verify_share(
+            self.signature_scheme, self.init.dealer_public_key, share
+        ):
+            return
+        self.msk_shares[vc_node] = share
+        if len(self.msk_shares) < self.thresholds.vc_honest_quorum:
+            return
+        raw_shares = [signed.share for signed in self.msk_shares.values()]
+        candidate = int_to_bytes(self.msk_sss.reconstruct(raw_shares), 16)
+        if not self.init.key_commitment.matches(candidate):
+            # Wrong key (corrupted shares slipped through): wait for more shares.
+            return
+        self.msk = candidate
+        self._decrypt_vote_codes()
+
+    def _decrypt_vote_codes(self) -> None:
+        cipher = VoteCodeCipher(self.msk)
+        for serial, view in self.init.ballots.items():
+            per_part: Dict[str, Tuple[bytes, ...]] = {}
+            for part_name in PARTS:
+                per_part[part_name] = tuple(
+                    cipher.decrypt(row.encrypted_vote_code) for row in view.rows[part_name]
+                )
+            self.decrypted_vote_codes[serial] = per_part
+
+    # ------------------------------------------------------------------ trustee writes
+
+    def receive_trustee_submission(self, submission: TrusteeSubmission) -> None:
+        """Verify a trustee's signature and store the submission."""
+        public = self.init.trustee_public_keys.get(submission.trustee_id)
+        if public is None or submission.signature is None:
+            return
+        if not self.signature_scheme.verify(public, submission.digest(), submission.signature):
+            return
+        self.trustee_submissions[submission.trustee_id] = submission
+        if (
+            self.result is None
+            and len(self.trustee_submissions) >= self.thresholds.trustee_threshold
+        ):
+            self._finalize_result()
+
+    # ------------------------------------------------------------------ result computation
+
+    def election_view(self) -> Optional[BbElectionView]:
+        """The view trustees need to do their work (None until ready)."""
+        if self.accepted_vote_set is None or self.msk is None:
+            return None
+        return BbElectionView(
+            vote_set=self.accepted_vote_set,
+            decrypted_vote_codes=self.decrypted_vote_codes,
+        )
+
+    def cast_row_locations(self) -> Dict[int, Tuple[str, int]]:
+        """Map each voted serial to the (part, row) of the cast vote code."""
+        locations: Dict[int, Tuple[str, int]] = {}
+        if self.accepted_vote_set is None:
+            return locations
+        for serial, code in self.accepted_vote_set:
+            decrypted = self.decrypted_vote_codes.get(serial, {})
+            for part_name, codes in decrypted.items():
+                for index, candidate in enumerate(codes):
+                    if candidate == code:
+                        locations[serial] = (part_name, index)
+        return locations
+
+    def _finalize_result(self) -> None:
+        """Reconstruct openings, proofs and the tally from trustee submissions."""
+        submissions = list(self.trustee_submissions.values())
+        threshold = self.thresholds.trustee_threshold
+        pedersen = PedersenVSS(threshold, self.thresholds.num_trustees, self.group)
+        zk_sss = ShamirSecretSharing(
+            threshold, self.thresholds.num_trustees, prime=self.group.order
+        )
+
+        cast_locations = self.cast_row_locations()
+        cast_parts = {serial: part for serial, (part, _) in cast_locations.items()}
+        challenge = voter_coin_challenge(self.group, cast_parts)
+
+        # Reconstruct openings for every (serial, part) all submissions agree to open.
+        openings: Dict[Tuple[int, str], Tuple[CommitmentOpening, ...]] = {}
+        opening_keys = set.intersection(
+            *(set(submission.opening_shares) for submission in submissions)
+        ) if submissions else set()
+        for key in sorted(opening_keys):
+            serial, part = key
+            num_rows = len(self.init.ballots[serial].rows[part])
+            per_row = []
+            for row_index in range(num_rows):
+                values, randomness = [], []
+                for coord in range(self.params.num_options):
+                    value_shares = [
+                        submission.opening_shares[key][row_index].value_shares[coord]
+                        for submission in submissions
+                    ]
+                    randomness_shares = [
+                        submission.opening_shares[key][row_index].randomness_shares[coord]
+                        for submission in submissions
+                    ]
+                    values.append(pedersen.reconstruct(value_shares))
+                    randomness.append(pedersen.reconstruct(randomness_shares))
+                per_row.append(CommitmentOpening(tuple(values), tuple(randomness)))
+            openings[key] = tuple(per_row)
+
+        # Reconstruct the ZK final moves for used parts.
+        proof_responses: Dict[Tuple[int, str], Tuple[BallotProofResponse, ...]] = {}
+        proof_keys = set.intersection(
+            *(set(submission.proof_shares) for submission in submissions)
+        ) if submissions else set()
+        for key in sorted(proof_keys):
+            serial, part = key
+            num_rows = len(self.init.ballots[serial].rows[part])
+            per_row = []
+            for row_index in range(num_rows):
+                components: Dict[str, int] = {}
+                component_names = submissions[0].proof_shares[key][row_index].component_shares
+                for name in component_names:
+                    shares = [
+                        submission.proof_shares[key][row_index].component_shares[name]
+                        for submission in submissions
+                    ]
+                    components[name] = zk_sss.reconstruct(shares)
+                per_row.append(self._assemble_proof_response(components))
+            proof_responses[key] = tuple(per_row)
+
+        # Reconstruct the tally opening and verify it against the combined commitment.
+        tally_commitments = []
+        for serial, (part, row_index) in sorted(cast_locations.items()):
+            tally_commitments.append(self.init.ballots[serial].rows[part][row_index].commitment)
+        tally = TallyResult(
+            counts=tuple(0 for _ in self.params.options),
+            options=tuple(self.params.options),
+            total_votes=0,
+        )
+        if tally_commitments and all(submission.tally_value_shares for submission in submissions):
+            values, randomness = [], []
+            for coord in range(self.params.num_options):
+                value_shares = [
+                    submission.tally_value_shares[coord] for submission in submissions
+                ]
+                randomness_shares = [
+                    submission.tally_randomness_shares[coord] for submission in submissions
+                ]
+                values.append(pedersen.reconstruct(value_shares))
+                randomness.append(pedersen.reconstruct(randomness_shares))
+            opening = CommitmentOpening(tuple(values), tuple(randomness))
+            combined = combine_tally_commitments(self.scheme, tally_commitments)
+            tally = open_tally(self.scheme, combined, opening, self.params.options)
+
+        self.result = PublishedResult(
+            tally=tally,
+            challenge=challenge,
+            openings=openings,
+            proof_responses=proof_responses,
+        )
+
+    def _assemble_proof_response(self, components: Mapping[str, int]) -> BallotProofResponse:
+        """Build a BallotProofResponse from reconstructed transcript components."""
+        or_responses = []
+        index = 0
+        while f"or{index}:c0" in components:
+            or_responses.append(
+                OrProofResponse(
+                    challenge0=components[f"or{index}:c0"],
+                    challenge1=components[f"or{index}:c1"],
+                    response0=components[f"or{index}:s0"],
+                    response1=components[f"or{index}:s1"],
+                )
+            )
+            index += 1
+        sum_response = SumProofResponse(components.get("sum:s", 0))
+        return BallotProofResponse(tuple(or_responses), sum_response)
+
+    # ------------------------------------------------------------------ public reads
+
+    def snapshot(self) -> dict:
+        """A read of the node's full published state (used by MajorityReader)."""
+        return {
+            "vote_set": self.accepted_vote_set,
+            "msk_reconstructed": self.msk is not None,
+            "decrypted_vote_codes": self.decrypted_vote_codes,
+            "tally": self.result.tally if self.result else None,
+        }
+
+    def verify_proofs(self) -> bool:
+        """Re-verify every published ZK proof (an auditor-style self check)."""
+        if self.result is None:
+            return False
+        verifier = BallotCorrectnessVerifier(self.init.commitment_public_key, self.group)
+        for (serial, part), responses in self.result.proof_responses.items():
+            rows = self.init.ballots[serial].rows[part]
+            for row, response in zip(rows, responses):
+                if row.proof_announcement is None:
+                    return False
+                if not verifier.verify(
+                    row.commitment, row.proof_announcement, self.result.challenge, response
+                ):
+                    return False
+        return True
+
+
+class MajorityReader:
+    """Read from every BB node and keep the majority answer (``fb + 1`` copies).
+
+    This is the library form of the paper's web-browser extension: a reader
+    never sees a minority (possibly corrupted) reply because it is filtered
+    out by the majority rule.
+    """
+
+    def __init__(self, bb_nodes: Sequence[BulletinBoardNode], params: ElectionParameters):
+        self.bb_nodes = list(bb_nodes)
+        self.params = params
+        self.required = params.thresholds.bb_majority
+
+    def read(self, accessor: Callable[[BulletinBoardNode], object]) -> object:
+        """Apply ``accessor`` to every node and return the majority value.
+
+        Raises ``ValueError`` when no value is backed by ``fb + 1`` nodes --
+        the caller should retry later, as the paper instructs.
+        """
+        answers = []
+        for node in self.bb_nodes:
+            try:
+                answers.append(accessor(node))
+            except Exception:  # a Byzantine node may raise; treat as no answer
+                continue
+        counts: Counter = Counter(repr(answer) for answer in answers)
+        for representative, count in counts.most_common():
+            if count >= self.required:
+                for answer in answers:
+                    if repr(answer) == representative:
+                        return answer
+        raise ValueError("no BB reply is backed by a majority; retry later")
+
+    def election_view(self) -> BbElectionView:
+        """Majority-read the view trustees need."""
+        view = self.read(lambda node: node.election_view())
+        if view is None:
+            raise ValueError("BB nodes have not yet accepted the vote set / msk")
+        return view
+
+    def tally(self) -> TallyResult:
+        """Majority-read the final tally."""
+        tally = self.read(lambda node: node.result.tally if node.result else None)
+        if tally is None:
+            raise ValueError("result not yet published")
+        return tally

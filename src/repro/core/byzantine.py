@@ -1,0 +1,119 @@
+"""Byzantine component behaviours used for fault-injection testing.
+
+The paper's threat model allows arbitrary (Byzantine) failures of up to
+``fv < Nv/3`` VC nodes, ``fb < Nb/2`` BB nodes and ``Nt - ht`` trustees.
+These classes implement concrete misbehaviours so the test-suite and the
+examples can demonstrate that the protocol guarantees survive them:
+
+* :class:`SilentVoteCollector` -- a crashed/partitioned VC node.
+* :class:`ShareCorruptingVoteCollector` -- discloses garbage receipt shares
+  and signs nothing, trying to poison receipt reconstruction.
+* :class:`EquivocatingVoteCollector` -- endorses every vote code it sees
+  (violating the one-endorsement-per-ballot rule) and lies during Vote Set
+  Consensus by announcing "no vote code known".
+* :class:`WithholdingBulletinBoard` -- a BB node that reports an empty/na
+  state to readers, exercising the majority-read logic.
+* :class:`CorruptTrustee` -- submits corrupted opening shares.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bulletin_board import BulletinBoardNode
+from repro.core.messages import Announce, Endorse, Endorsement, VotePending
+from repro.core.trustee import Trustee, TrusteeSubmission
+from repro.core.vote_collector import VoteCollectorNode, endorsement_message
+from repro.crypto.pedersen_vss import PedersenShare
+from repro.crypto.shamir import Share, SignedShare
+from repro.net.channels import Message
+
+
+class SilentVoteCollector(VoteCollectorNode):
+    """A VC node that never reacts to anything (crash / denial of service)."""
+
+    def on_message(self, message: Message) -> None:
+        return
+
+    def end_election(self) -> None:
+        return
+
+
+class ShareCorruptingVoteCollector(VoteCollectorNode):
+    """A VC node that discloses corrupted receipt shares.
+
+    The share value is flipped before broadcasting VOTE_P, but the EA's
+    signature is kept from the original share, so the signature check at the
+    receivers must reject it (the context/value no longer match).
+    """
+
+    def _disclose_share(self, serial, record, vote_code, ucert) -> None:
+        if record.vote_p_sent or record.location is None:
+            return
+        record.vote_p_sent = True
+        part, index = record.location
+        genuine = self.init.ballots[serial].receipt_share_at(part, index)
+        corrupted = SignedShare(
+            Share(genuine.share.index, (genuine.share.value + 1) % (2 ** 64)),
+            genuine.context,
+            genuine.signature,
+        )
+        self.broadcast(
+            self.peers, VotePending(serial, vote_code, corrupted, ucert, self.node_id)
+        )
+
+
+class EquivocatingVoteCollector(VoteCollectorNode):
+    """A VC node that endorses everything and lies in Vote Set Consensus."""
+
+    def _on_endorse(self, sender: str, request: Endorse) -> None:
+        # Endorse any code for any ballot, without the single-endorsement check.
+        if self.init.ballots.get(request.serial) is None:
+            return
+        signature = self.signature_scheme.sign(
+            self.init.signing_keys, endorsement_message(request.serial, request.vote_code)
+        )
+        self.send(sender, Endorsement(request.serial, request.vote_code, self.node_id, signature))
+
+    def end_election(self) -> None:
+        # Announce "nothing known" for every ballot regardless of local state.
+        if self.vsc_started:
+            return
+        self.voting_closed = True
+        self.vsc_started = True
+        for serial in self.ballots:
+            self._consensus_record(serial)
+            self.broadcast(self.peers, Announce(serial, None, None, self.node_id))
+
+
+class WithholdingBulletinBoard(BulletinBoardNode):
+    """A BB node that answers every read with an empty view."""
+
+    def snapshot(self) -> dict:
+        return {"vote_set": None, "msk_reconstructed": False,
+                "decrypted_vote_codes": {}, "tally": None}
+
+    def election_view(self):
+        return None
+
+    @property
+    def visible_result(self):
+        return None
+
+
+class CorruptTrustee(Trustee):
+    """A trustee that corrupts its tally shares (detected when opening fails)."""
+
+    def produce_submission(self, bb_view) -> TrusteeSubmission:
+        submission = super().produce_submission(bb_view)
+        corrupted_values = tuple(
+            PedersenShare(share.index, share.value + 1, share.blinding)
+            for share in submission.tally_value_shares
+        )
+        submission.tally_value_shares = corrupted_values
+        # Re-sign so the signature check passes and only the share corruption
+        # remains detectable (via the failed opening of the combined commitment).
+        submission.signature = self.signature_scheme.sign(
+            self.init.signing_keys, submission.digest()
+        )
+        return submission

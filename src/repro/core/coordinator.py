@@ -1,0 +1,225 @@
+"""End-to-end election orchestration on the discrete-event simulator.
+
+:class:`ElectionCoordinator` wires everything together the way an operator
+would deploy the real system: it runs the EA setup, instantiates VC nodes,
+BB nodes, voters (and optionally Byzantine variants), runs the voting phase
+on the network simulator, triggers election end, lets Vote Set Consensus and
+the BB uploads complete, runs the trustee phase, and finally returns an
+:class:`ElectionOutcome` with the published tally, per-voter results and
+statistics.  It is the main public entry point used by the examples and the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.core.auditor import Auditor, AuditReport
+from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
+from repro.core.ea import (
+    ElectionAuthority,
+    ElectionSetup,
+    bb_node_id,
+    trustee_id,
+    vc_node_id,
+    voter_id,
+)
+from repro.core.election import ElectionParameters
+from repro.core.tally import TallyResult, expected_tally
+from repro.core.trustee import Trustee
+from repro.core.vote_collector import VoteCollectorNode
+from repro.core.voter import VoterClient
+from repro.crypto.group import Group, default_group
+from repro.crypto.utils import RandomSource
+from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.simulator import Network
+
+
+@dataclass
+class ElectionOutcome:
+    """Everything an election run produces."""
+
+    setup: ElectionSetup
+    network: Network
+    vote_collectors: List[VoteCollectorNode]
+    bb_nodes: List[BulletinBoardNode]
+    trustees: List[Trustee]
+    voters: List[VoterClient]
+    tally: Optional[TallyResult]
+    audit_report: Optional[AuditReport]
+
+    @property
+    def receipts_obtained(self) -> int:
+        """How many voters obtained a (valid) receipt."""
+        return sum(1 for voter in self.voters if voter.receipt is not None)
+
+    @property
+    def all_receipts_valid(self) -> bool:
+        """Whether every obtained receipt matched the ballot's printed receipt."""
+        return all(voter.receipt_valid for voter in self.voters if voter.receipt is not None)
+
+    def expected_tally(self) -> TallyResult:
+        """The plaintext tally implied by the voters' intended choices."""
+        choices = [voter.choice for voter in self.voters if voter.receipt is not None]
+        return expected_tally(self.setup.params.options, choices)
+
+
+class ElectionCoordinator:
+    """Builds and runs a complete D-DEMOS election on the simulator."""
+
+    def __init__(
+        self,
+        params: ElectionParameters,
+        group: Optional[Group] = None,
+        conditions: Optional[NetworkConditions] = None,
+        adversary: Optional[Adversary] = None,
+        rng: Optional[RandomSource] = None,
+        vc_node_classes: Optional[Dict[str, Type[VoteCollectorNode]]] = None,
+        bb_node_classes: Optional[Dict[str, Type[BulletinBoardNode]]] = None,
+        trustee_classes: Optional[Dict[str, Type[Trustee]]] = None,
+        include_proofs: bool = True,
+        seed: int = 7,
+    ):
+        self.params = params
+        self.group = group or default_group()
+        self.conditions = conditions or NetworkConditions.lan(seed=seed)
+        self.adversary = adversary or Adversary()
+        self.rng = rng
+        self.vc_node_classes = vc_node_classes or {}
+        self.bb_node_classes = bb_node_classes or {}
+        self.trustee_classes = trustee_classes or {}
+        self.include_proofs = include_proofs
+        self.seed = seed
+
+        self.setup: Optional[ElectionSetup] = None
+        self.network: Optional[Network] = None
+        self.vote_collectors: List[VoteCollectorNode] = []
+        self.bb_nodes: List[BulletinBoardNode] = []
+        self.trustees: List[Trustee] = []
+        self.voters: List[VoterClient] = []
+
+    # -- phases -----------------------------------------------------------------
+
+    def run_setup(self) -> ElectionSetup:
+        """Phase 0: the EA produces all initialization data and is destroyed."""
+        authority = ElectionAuthority(
+            self.params,
+            group=self.group,
+            rng=self.rng,
+            include_proofs=self.include_proofs,
+        )
+        self.setup = authority.setup()
+        return self.setup
+
+    def build_components(
+        self,
+        choices: Sequence[str],
+        voter_patience: float = 50.0,
+        voter_parts: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Phase 1: instantiate the network, VC/BB nodes and voter clients."""
+        if self.setup is None:
+            self.run_setup()
+        setup = self.setup
+        params = self.params
+        self.network = Network(conditions=self.conditions, adversary=self.adversary)
+
+        # Vote collectors (possibly with Byzantine substitutes).
+        for index in range(params.thresholds.num_vc):
+            node_id = vc_node_id(index)
+            cls = self.vc_node_classes.get(node_id, VoteCollectorNode)
+            node = cls(setup.vc_init[node_id], params)
+            self.vote_collectors.append(node)
+            self.network.register(node)
+
+        # Bulletin board nodes.
+        for index in range(params.thresholds.num_bb):
+            node_id = bb_node_id(index)
+            cls = self.bb_node_classes.get(node_id, BulletinBoardNode)
+            node = cls(node_id, setup.bb_init, params, self.group)
+            self.bb_nodes.append(node)
+            self.network.register(node)
+
+        # Trustees (not SimNodes: the tabulation phase is sequential).
+        for index in range(params.thresholds.num_trustees):
+            node_id = trustee_id(index)
+            cls = self.trustee_classes.get(node_id, Trustee)
+            self.trustees.append(cls(setup.trustee_init[node_id], params, self.group))
+
+        # Voters.
+        if len(choices) != params.num_voters:
+            raise ValueError("need exactly one choice per voter")
+        vc_ids = [vc_node_id(i) for i in range(params.thresholds.num_vc)]
+        for index, choice in enumerate(choices):
+            part = voter_parts[index] if voter_parts is not None else None
+            voter = VoterClient(
+                voter_id(index),
+                setup.ballots[index],
+                vc_ids,
+                choice,
+                patience=voter_patience,
+                part_choice=part,
+                seed=self.seed + index,
+            )
+            self.voters.append(voter)
+            self.network.register(voter)
+
+    def run_voting_phase(self, stagger: float = 0.5) -> None:
+        """Phase 2: voters cast their votes; VC nodes issue receipts."""
+        for index, voter in enumerate(self.voters):
+            self.network.schedule(index * stagger, voter.start_voting, description="voter-start")
+        # End the election: VC nodes freeze and start Vote Set Consensus.
+        end_time = self.params.election_end
+        for node in self.vote_collectors:
+            self.network.schedule_at(end_time, node.end_election, description="election-end")
+        self.network.run_until_idle()
+
+    def run_trustee_phase(self) -> Optional[TallyResult]:
+        """Phase 3: trustees read the BB, compute shares and post them back."""
+        reader = MajorityReader(self.bb_nodes, self.params)
+        try:
+            view = reader.election_view()
+        except ValueError:
+            return None
+        for trustee in self.trustees:
+            submission = trustee.produce_submission(view)
+            for bb in self.bb_nodes:
+                bb.receive_trustee_submission(submission)
+        try:
+            return reader.tally()
+        except ValueError:
+            return None
+
+    def run_audit(self) -> AuditReport:
+        """Phase 4: an independent auditor verifies the whole election."""
+        auditor = Auditor(self.bb_nodes, self.params, self.group)
+        delegations = [voter.audit_info() for voter in self.voters if voter.receipt is not None]
+        return auditor.audit(delegations)
+
+    # -- one-call entry point -----------------------------------------------------
+
+    def run_election(
+        self,
+        choices: Sequence[str],
+        voter_patience: float = 50.0,
+        voter_parts: Optional[Sequence[str]] = None,
+        with_audit: bool = True,
+        stagger: float = 0.5,
+    ) -> ElectionOutcome:
+        """Run setup, voting, tabulation and (optionally) a full audit."""
+        self.run_setup()
+        self.build_components(choices, voter_patience=voter_patience, voter_parts=voter_parts)
+        self.run_voting_phase(stagger=stagger)
+        tally = self.run_trustee_phase()
+        audit_report = self.run_audit() if (with_audit and tally is not None) else None
+        return ElectionOutcome(
+            setup=self.setup,
+            network=self.network,
+            vote_collectors=self.vote_collectors,
+            bb_nodes=self.bb_nodes,
+            trustees=self.trustees,
+            voters=self.voters,
+            tally=tally,
+            audit_report=audit_report,
+        )

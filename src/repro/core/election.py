@@ -1,0 +1,115 @@
+"""Election parameters and fault-tolerance thresholds.
+
+An election (Section III-A of the paper) has a single question with ``m``
+options, ``n`` voters, defined voting hours, and three replicated subsystems
+whose sizes and fault thresholds must satisfy:
+
+* Vote Collectors: ``Nv >= 3 fv + 1``
+* Bulletin Board:  ``Nb >= 2 fb + 1``
+* Trustees:        ``ht``-out-of-``Nt`` threshold (tolerating ``Nt - ht`` faults)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class FaultThresholds:
+    """Sizes and fault tolerances of the three replicated subsystems."""
+
+    num_vc: int
+    num_bb: int
+    num_trustees: int
+    trustee_threshold: int
+
+    @property
+    def max_faulty_vc(self) -> int:
+        """Largest ``fv`` with ``Nv >= 3 fv + 1``."""
+        return (self.num_vc - 1) // 3
+
+    @property
+    def max_faulty_bb(self) -> int:
+        """Largest ``fb`` with ``Nb >= 2 fb + 1``."""
+        return (self.num_bb - 1) // 2
+
+    @property
+    def max_faulty_trustees(self) -> int:
+        """Number of trustee corruptions tolerated, ``Nt - ht``."""
+        return self.num_trustees - self.trustee_threshold
+
+    @property
+    def vc_honest_quorum(self) -> int:
+        """The strong-majority quorum ``Nv - fv`` used throughout the protocol."""
+        return self.num_vc - self.max_faulty_vc
+
+    @property
+    def bb_majority(self) -> int:
+        """``fb + 1``: the number of identical BB replies a reader must see."""
+        return self.max_faulty_bb + 1
+
+    def validate(self) -> None:
+        """Raise if any subsystem is too small for its role."""
+        if self.num_vc < 4:
+            raise ValueError("need at least 4 VC nodes (Nv >= 3fv + 1 with fv >= 1)")
+        if self.num_bb < 1:
+            raise ValueError("need at least one BB node")
+        if not 1 <= self.trustee_threshold <= self.num_trustees:
+            raise ValueError("trustee threshold must be between 1 and Nt")
+
+
+@dataclass(frozen=True)
+class ElectionParameters:
+    """Everything that defines one election."""
+
+    options: Sequence[str]
+    num_voters: int
+    thresholds: FaultThresholds
+    election_start: float = 0.0
+    election_end: float = 1_000.0
+    election_id: str = "election-1"
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError("an election needs at least two options")
+        if len(set(self.options)) != len(self.options):
+            raise ValueError("option labels must be unique")
+        if self.num_voters < 1:
+            raise ValueError("an election needs at least one voter")
+        if self.election_end <= self.election_start:
+            raise ValueError("election must end after it starts")
+        self.thresholds.validate()
+
+    @property
+    def num_options(self) -> int:
+        """``m``: the number of options."""
+        return len(self.options)
+
+    def option_index(self, label: str) -> int:
+        """Return the canonical index of an option label."""
+        return list(self.options).index(label)
+
+    def within_voting_hours(self, timestamp: float) -> bool:
+        """Whether a vote submitted at ``timestamp`` is inside voting hours."""
+        return self.election_start <= timestamp < self.election_end
+
+    @staticmethod
+    def small_test_election(
+        num_voters: int = 5,
+        num_options: int = 3,
+        num_vc: int = 4,
+        num_bb: int = 3,
+        num_trustees: int = 3,
+        trustee_threshold: int = 2,
+        election_end: float = 1_000.0,
+    ) -> "ElectionParameters":
+        """Convenience constructor used heavily by tests and examples."""
+        options = [f"option-{i + 1}" for i in range(num_options)]
+        thresholds = FaultThresholds(num_vc, num_bb, num_trustees, trustee_threshold)
+        return ElectionParameters(
+            options=options,
+            num_voters=num_voters,
+            thresholds=thresholds,
+            election_end=election_end,
+        )

@@ -1,0 +1,164 @@
+"""Wire messages of the D-DEMOS protocols.
+
+These dataclasses are the payloads carried by :class:`repro.net.channels.Message`.
+They correspond one-to-one to the messages named in the paper: VOTE,
+ENDORSE, ENDORSEMENT, VOTE_P, ANNOUNCE, RECOVER-REQUEST, RECOVER-RESPONSE for
+the vote-collection subsystem, plus the uploads VC nodes send to BB nodes at
+the end of the election and the binary-consensus traffic of Vote Set
+Consensus (wrapped in :class:`VscEnvelope` or batched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.consensus.batching import BatchEnvelope
+from repro.consensus.interfaces import ConsensusMessage
+from repro.crypto.shamir import SignedShare
+from repro.crypto.signatures import SchnorrSignature
+
+
+# ---------------------------------------------------------------------------
+# Voter <-> VC (public channel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VoteRequest:
+    """VOTE<serial-no, vote-code> submitted by a voter to one VC node."""
+
+    serial: int
+    vote_code: bytes
+    voter_id: str
+
+
+@dataclass(frozen=True)
+class VoteReceipt:
+    """The receipt returned to the voter once her vote is recorded."""
+
+    serial: int
+    vote_code: bytes
+    receipt: bytes
+
+
+@dataclass(frozen=True)
+class VoteRejected:
+    """Negative acknowledgement (outside voting hours, unknown code, ...)."""
+
+    serial: int
+    vote_code: bytes
+    reason: str
+
+
+# ---------------------------------------------------------------------------
+# VC <-> VC (private authenticated channels) -- voting protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Endorse:
+    """ENDORSE<serial-no, vote-code>: the responder asks for endorsements."""
+
+    serial: int
+    vote_code: bytes
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """ENDORSEMENT<serial-no, vote-code, sig>: one VC node's signature."""
+
+    serial: int
+    vote_code: bytes
+    signer: str
+    signature: SchnorrSignature
+
+
+@dataclass(frozen=True)
+class UniquenessCertificate:
+    """UCERT: ``Nv - fv`` endorsements proving a vote code is unique for a ballot."""
+
+    serial: int
+    vote_code: bytes
+    endorsements: Tuple[Endorsement, ...]
+
+
+@dataclass(frozen=True)
+class VotePending:
+    """VOTE_P<serial-no, vote-code, receipt-share, UCERT>."""
+
+    serial: int
+    vote_code: bytes
+    receipt_share: SignedShare
+    ucert: UniquenessCertificate
+    sender: str
+
+
+# ---------------------------------------------------------------------------
+# VC <-> VC -- Vote Set Consensus
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Announce:
+    """ANNOUNCE<serial-no, vote-code, UCERT>; vote_code is None if unknown."""
+
+    serial: int
+    vote_code: Optional[bytes]
+    ucert: Optional[UniquenessCertificate]
+    sender: str
+
+
+@dataclass(frozen=True)
+class RecoverRequest:
+    """RECOVER-REQUEST<serial-no>: ask peers for the winning vote code."""
+
+    serial: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class RecoverResponse:
+    """RECOVER-RESPONSE<serial-no, vote-code, UCERT>."""
+
+    serial: int
+    vote_code: bytes
+    ucert: UniquenessCertificate
+    sender: str
+
+
+@dataclass(frozen=True)
+class VscEnvelope:
+    """A single binary-consensus message travelling between VC nodes."""
+
+    consensus_message: ConsensusMessage
+    sender: str
+
+
+@dataclass(frozen=True)
+class VscBatch:
+    """A batch of binary-consensus messages (network-efficiency optimisation)."""
+
+    envelope: BatchEnvelope
+    sender: str
+
+
+# ---------------------------------------------------------------------------
+# VC -> BB uploads at election end
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VoteSetUpload:
+    """The agreed set of voted <serial, vote-code> tuples, sent to every BB node."""
+
+    vote_set: Tuple[Tuple[int, bytes], ...]
+    sender: str
+
+
+@dataclass(frozen=True)
+class MskShareUpload:
+    """A VC node's share of the master key protecting the BB's vote codes."""
+
+    share: SignedShare
+    sender: str

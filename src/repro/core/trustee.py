@@ -1,0 +1,222 @@
+"""Trustees: result tabulation without ever holding a full secret.
+
+After the election each trustee (Section III-H):
+
+1. fetches the election data from the BB subsystem (via a majority read) and
+   verifies it: for every ballot either exactly one part is voted, or none;
+   ballots violating this (both parts voted, or more cast rows than allowed)
+   are discarded;
+2. for the *voted* part of each voted ballot, posts its share of the final
+   move of each row's Chaum-Pedersen proof (the commitments stay closed) and
+   collects the cast rows' commitments into the tally set ``E_tally``;
+3. for the *unused* part of each voted ballot and for both parts of unvoted
+   ballots, posts its share of each commitment opening;
+4. adds, coordinate-wise, its shares of the openings of all commitments in
+   ``E_tally`` and posts the result ``T_l`` -- its share of the opening of the
+   homomorphic total.
+
+The zero-knowledge final moves are computed from the affine-coefficient
+shares dealt by the EA: every transcript component is an affine function of
+the challenge, so a trustee's share of the component is simply
+``share(const) + challenge * share(lin)`` -- see
+:meth:`repro.core.ea.ElectionAuthority._zk_affine_coefficients`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ballot import PARTS, TrusteeBallotView
+from repro.core.ea import TrusteeInitData
+from repro.core.election import ElectionParameters
+from repro.core.tally import voter_coin_challenge
+from repro.crypto.group import Group
+from repro.crypto.pedersen_vss import PedersenShare, PedersenVSS
+from repro.crypto.shamir import Share
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import sha256
+
+
+@dataclass(frozen=True)
+class RowOpeningShares:
+    """A trustee's opening shares for one ballot row (one share per coordinate)."""
+
+    value_shares: Tuple[PedersenShare, ...]
+    randomness_shares: Tuple[PedersenShare, ...]
+
+
+@dataclass(frozen=True)
+class RowProofShares:
+    """A trustee's shares of the ZK final-move components for one ballot row."""
+
+    component_shares: Mapping[str, Share]
+
+
+@dataclass
+class TrusteeSubmission:
+    """Everything one trustee posts to the BB nodes after the election."""
+
+    trustee_id: str
+    challenge: int
+    #: (serial, part) -> per-row opening shares, for parts that get opened
+    opening_shares: Dict[Tuple[int, str], Tuple[RowOpeningShares, ...]] = field(default_factory=dict)
+    #: (serial, part) -> per-row proof-component shares, for used parts
+    proof_shares: Dict[Tuple[int, str], Tuple[RowProofShares, ...]] = field(default_factory=dict)
+    #: the trustee's share of the opening of the homomorphic total
+    tally_value_shares: Tuple[PedersenShare, ...] = ()
+    tally_randomness_shares: Tuple[PedersenShare, ...] = ()
+    #: ballots the trustee discarded as invalid
+    discarded: Tuple[int, ...] = ()
+    signature: Optional[object] = None
+
+    def digest(self) -> bytes:
+        """Deterministic digest of the submission, used for signing."""
+        pieces: List[bytes] = [self.trustee_id.encode(), self.challenge.to_bytes(64, "big")]
+        for key in sorted(self.opening_shares):
+            serial, part = key
+            pieces.append(f"open|{serial}|{part}".encode())
+            for row in self.opening_shares[key]:
+                for share in row.value_shares + row.randomness_shares:
+                    pieces.append(f"{share.index}:{share.value}:{share.blinding}".encode())
+        for key in sorted(self.proof_shares):
+            serial, part = key
+            pieces.append(f"proof|{serial}|{part}".encode())
+            for row in self.proof_shares[key]:
+                for name in sorted(row.component_shares):
+                    share = row.component_shares[name]
+                    pieces.append(f"{name}:{share.index}:{share.value}".encode())
+        for share in self.tally_value_shares + self.tally_randomness_shares:
+            pieces.append(f"tally:{share.index}:{share.value}:{share.blinding}".encode())
+        pieces.append(b"discarded:" + b",".join(str(s).encode() for s in sorted(self.discarded)))
+        return sha256(*pieces)
+
+
+@dataclass(frozen=True)
+class BbElectionView:
+    """The subset of BB state a trustee needs (obtained via a majority read)."""
+
+    #: accepted final vote set: tuples of (serial, vote_code)
+    vote_set: Tuple[Tuple[int, bytes], ...]
+    #: serial -> part name -> tuple of decrypted vote codes (in shuffled row order)
+    decrypted_vote_codes: Mapping[int, Mapping[str, Tuple[bytes, ...]]]
+
+
+class Trustee:
+    """One trustee of the election."""
+
+    def __init__(
+        self,
+        init: TrusteeInitData,
+        params: ElectionParameters,
+        group: Group,
+    ):
+        self.init = init
+        self.params = params
+        self.group = group
+        self.trustee_id = init.trustee_id
+        self.signature_scheme = SignatureScheme(group)
+        self.q = group.order
+
+    # -- the main entry point ----------------------------------------------------
+
+    def produce_submission(self, bb_view: BbElectionView) -> TrusteeSubmission:
+        """Verify the BB data and compute this trustee's complete submission."""
+        cast_rows, cast_parts, discarded = self._locate_cast_rows(bb_view)
+        challenge = voter_coin_challenge(self.group, cast_parts)
+        submission = TrusteeSubmission(self.trustee_id, challenge, discarded=tuple(sorted(discarded)))
+
+        tally_value_shares: Optional[List[PedersenShare]] = None
+        tally_randomness_shares: Optional[List[PedersenShare]] = None
+
+        for serial, view in self.init.ballots.items():
+            if serial in discarded:
+                continue
+            cast = cast_rows.get(serial)
+            for part_name in PARTS:
+                rows = view.rows[part_name]
+                if cast is not None and cast[0] == part_name:
+                    # Used part: complete the ZK proofs; the cast row joins E_tally.
+                    submission.proof_shares[(serial, part_name)] = tuple(
+                        self._proof_shares_for_row(row, challenge) for row in rows
+                    )
+                    cast_row = rows[cast[1]]
+                    value_shares = list(cast_row.opening_value_shares)
+                    randomness_shares = list(cast_row.opening_randomness_shares)
+                    if tally_value_shares is None:
+                        tally_value_shares = value_shares
+                        tally_randomness_shares = randomness_shares
+                    else:
+                        tally_value_shares = [
+                            a + b for a, b in zip(tally_value_shares, value_shares)
+                        ]
+                        tally_randomness_shares = [
+                            a + b for a, b in zip(tally_randomness_shares, randomness_shares)
+                        ]
+                else:
+                    # Unused part (or unvoted ballot): open every row.
+                    submission.opening_shares[(serial, part_name)] = tuple(
+                        RowOpeningShares(row.opening_value_shares, row.opening_randomness_shares)
+                        for row in rows
+                    )
+
+        if tally_value_shares is not None:
+            submission.tally_value_shares = tuple(tally_value_shares)
+            submission.tally_randomness_shares = tuple(tally_randomness_shares)
+        submission.signature = self.signature_scheme.sign(
+            self.init.signing_keys, submission.digest()
+        )
+        return submission
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _locate_cast_rows(
+        self, bb_view: BbElectionView
+    ) -> Tuple[Dict[int, Tuple[str, int]], Dict[int, str], List[int]]:
+        """Map each voted serial to (part, row index) of the cast vote code.
+
+        Returns ``(cast_rows, cast_parts, discarded_serials)``.  A ballot is
+        discarded when the vote set contains more than one entry for it or the
+        cast code cannot be located/matched consistently.
+        """
+        entries: Dict[int, List[bytes]] = {}
+        for serial, vote_code in bb_view.vote_set:
+            entries.setdefault(serial, []).append(vote_code)
+
+        cast_rows: Dict[int, Tuple[str, int]] = {}
+        cast_parts: Dict[int, str] = {}
+        discarded: List[int] = []
+        for serial, codes in entries.items():
+            if len(codes) != 1 or serial not in self.init.ballots:
+                discarded.append(serial)
+                continue
+            code = codes[0]
+            decrypted = bb_view.decrypted_vote_codes.get(serial, {})
+            matches = [
+                (part_name, index)
+                for part_name, part_codes in decrypted.items()
+                for index, candidate in enumerate(part_codes)
+                if candidate == code
+            ]
+            if len(matches) != 1:
+                # The cast code either does not exist in the ballot or appears
+                # in more than one row -- both indicate a corrupted setup.
+                discarded.append(serial)
+                continue
+            cast_rows[serial] = matches[0]
+            cast_parts[serial] = matches[0][0]
+        return cast_rows, cast_parts, discarded
+
+    def _proof_shares_for_row(self, row, challenge: int) -> RowProofShares:
+        """Evaluate the affine coefficient shares at the challenge."""
+        shares: Dict[str, Share] = {}
+        grouped: Dict[str, Dict[str, Share]] = {}
+        for name, share in row.zk_state_shares.items():
+            component, kind = name.rsplit(":", 1)
+            grouped.setdefault(component, {})[kind] = share
+        for component, parts in grouped.items():
+            const_share = parts["const"]
+            lin_share = parts["lin"]
+            value = (const_share.value + challenge * lin_share.value) % self.q
+            shares[component] = Share(const_share.index, value)
+        return RowProofShares(shares)

@@ -1,0 +1,471 @@
+"""Vote Collector (VC) node: the voting protocol of Algorithm 1 plus
+Vote Set Consensus (Section III-E).
+
+A VC node is a :class:`~repro.net.simulator.SimNode`.  During voting hours it
+serves voters over the public channel and cooperates with its peers over
+private authenticated channels to (a) certify that only one vote code can
+ever be active for a ballot (the uniqueness certificate UCERT) and (b)
+reconstruct the receipt, which is secret-shared with threshold ``Nv - fv`` so
+that it can only be produced when a strong majority of VC nodes took part.
+
+At election end the node freezes its voting state and runs Vote Set
+Consensus: one ANNOUNCE exchange plus one binary-consensus instance per
+ballot, followed by the recovery sub-protocol for ballots where the node
+decided "voted" without knowing the winning vote code.  The final agreed set
+of ``<serial, vote-code>`` tuples and the node's share of ``msk`` are then
+uploaded to every Bulletin Board node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.consensus.bracha import BinaryConsensusInstance
+from repro.consensus.interfaces import ConsensusMessage
+from repro.core.ea import VcInitData, bb_node_id, vc_node_id
+from repro.core.election import ElectionParameters
+from repro.core.messages import (
+    Announce,
+    Endorse,
+    Endorsement,
+    MskShareUpload,
+    RecoverRequest,
+    RecoverResponse,
+    UniquenessCertificate,
+    VotePending,
+    VoteReceipt,
+    VoteRejected,
+    VoteRequest,
+    VoteSetUpload,
+    VscEnvelope,
+)
+from repro.crypto.shamir import ShamirSecretSharing, SignedShare, SigningDealer
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import int_to_bytes
+from repro.net.channels import ChannelKind, Message
+from repro.net.simulator import SimNode
+
+
+class BallotStatus(enum.Enum):
+    """Per-ballot state machine of Algorithm 1."""
+
+    NOT_VOTED = "not-voted"
+    PENDING = "pending"
+    VOTED = "voted"
+
+
+@dataclass
+class BallotRecord:
+    """Mutable per-ballot state a VC node keeps during the election."""
+
+    status: BallotStatus = BallotStatus.NOT_VOTED
+    used_vote_code: Optional[bytes] = None
+    location: Optional[Tuple[str, int]] = None
+    receipt_shares: Dict[str, SignedShare] = field(default_factory=dict)
+    ucert: Optional[UniquenessCertificate] = None
+    receipt: Optional[bytes] = None
+    #: voters waiting for a receipt for this ballot (we are their responder)
+    waiting_voters: List[str] = field(default_factory=list)
+    #: endorsements collected while we act as responder
+    endorsements: Dict[str, Endorsement] = field(default_factory=dict)
+    endorse_requested: bool = False
+    vote_p_sent: bool = False
+
+
+@dataclass
+class ConsensusRecord:
+    """Per-ballot Vote Set Consensus state."""
+
+    announces: Dict[str, Announce] = field(default_factory=dict)
+    instance: Optional[BinaryConsensusInstance] = None
+    proposed: bool = False
+    decided: Optional[int] = None
+    resolved: bool = False
+    final_vote_code: Optional[bytes] = None
+    recover_requested: bool = False
+    buffered: List[Tuple[str, ConsensusMessage]] = field(default_factory=list)
+
+
+def endorsement_message(serial: int, vote_code: bytes) -> bytes:
+    """The byte string a VC node signs when endorsing a vote code."""
+    return b"endorse|" + serial.to_bytes(8, "big") + b"|" + vote_code
+
+
+class VoteCollectorNode(SimNode):
+    """An honest Vote Collector node."""
+
+    def __init__(
+        self,
+        init: VcInitData,
+        params: ElectionParameters,
+    ):
+        super().__init__(init.node_id)
+        self.init = init
+        self.params = params
+        self.thresholds = params.thresholds
+        self.num_vc = self.thresholds.num_vc
+        self.quorum = self.thresholds.vc_honest_quorum  # Nv - fv
+        self.peers = [vc_node_id(i) for i in range(self.num_vc)]
+        self.bb_nodes = [bb_node_id(i) for i in range(self.thresholds.num_bb)]
+        self.signature_scheme = SignatureScheme()
+        self.receipt_sss = ShamirSecretSharing(self.quorum, self.num_vc)
+
+        self.ballots: Dict[int, BallotRecord] = {
+            serial: BallotRecord() for serial in init.ballots
+        }
+        #: which vote code this node has endorsed per serial (at most one)
+        self.endorsed: Dict[int, bytes] = {}
+        self.voting_closed = False
+
+        # Vote Set Consensus state.
+        self.consensus: Dict[int, ConsensusRecord] = {}
+        self.vsc_started = False
+        self.final_vote_set: Optional[Tuple[Tuple[int, bytes], ...]] = None
+        self.uploaded = False
+
+        # Statistics (used by tests and the performance harness).
+        self.receipts_issued = 0
+        self.votes_rejected = 0
+
+    # ------------------------------------------------------------------ dispatch
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, VoteRequest):
+            self._on_vote_request(message.sender, payload)
+        elif isinstance(payload, Endorse):
+            self._on_endorse(message.sender, payload)
+        elif isinstance(payload, Endorsement):
+            self._on_endorsement(message.sender, payload)
+        elif isinstance(payload, VotePending):
+            self._on_vote_pending(message.sender, payload)
+        elif isinstance(payload, Announce):
+            self._on_announce(message.sender, payload)
+        elif isinstance(payload, VscEnvelope):
+            self._on_consensus_message(payload.sender, payload.consensus_message)
+        elif isinstance(payload, RecoverRequest):
+            self._on_recover_request(payload)
+        elif isinstance(payload, RecoverResponse):
+            self._on_recover_response(payload)
+
+    # ------------------------------------------------------------------ voting
+
+    def _within_voting_hours(self) -> bool:
+        return (
+            not self.voting_closed
+            and self.params.within_voting_hours(self.now)
+        )
+
+    def _on_vote_request(self, voter: str, request: VoteRequest) -> None:
+        """Handle VOTE<serial, vote-code> from a voter (we become the responder)."""
+        if not self._within_voting_hours():
+            self.send(voter, VoteRejected(request.serial, request.vote_code, "outside voting hours"),
+                      channel=ChannelKind.PUBLIC)
+            self.votes_rejected += 1
+            return
+        record = self.ballots.get(request.serial)
+        view = self.init.ballots.get(request.serial)
+        if record is None or view is None:
+            self.send(voter, VoteRejected(request.serial, request.vote_code, "unknown ballot"),
+                      channel=ChannelKind.PUBLIC)
+            self.votes_rejected += 1
+            return
+        if record.status is BallotStatus.VOTED and record.used_vote_code == request.vote_code:
+            # Ballot already voted with the same code: return the stored receipt.
+            self.send(voter, VoteReceipt(request.serial, request.vote_code, record.receipt),
+                      channel=ChannelKind.PUBLIC)
+            return
+        if record.status is not BallotStatus.NOT_VOTED:
+            if record.used_vote_code == request.vote_code:
+                # Receipt still being assembled; remember who to answer.
+                record.waiting_voters.append(voter)
+            else:
+                self.send(voter, VoteRejected(request.serial, request.vote_code, "ballot already used"),
+                          channel=ChannelKind.PUBLIC)
+                self.votes_rejected += 1
+            return
+        location = view.find_vote_code(request.vote_code)
+        if location is None:
+            self.send(voter, VoteRejected(request.serial, request.vote_code, "invalid vote code"),
+                      channel=ChannelKind.PUBLIC)
+            self.votes_rejected += 1
+            return
+        # Become the responder: ask every VC node to endorse this vote code.
+        record.location = location
+        record.waiting_voters.append(voter)
+        if not record.endorse_requested:
+            record.endorse_requested = True
+            self.broadcast(self.peers, Endorse(request.serial, request.vote_code))
+
+    def _on_endorse(self, sender: str, request: Endorse) -> None:
+        """Sign the vote code unless we already endorsed a different one."""
+        if not self._within_voting_hours():
+            return
+        if self.init.ballots.get(request.serial) is None:
+            return
+        previously = self.endorsed.get(request.serial)
+        if previously is not None and previously != request.vote_code:
+            return
+        view = self.init.ballots[request.serial]
+        if view.find_vote_code(request.vote_code) is None:
+            return
+        self.endorsed[request.serial] = request.vote_code
+        signature = self.signature_scheme.sign(
+            self.init.signing_keys, endorsement_message(request.serial, request.vote_code)
+        )
+        self.send(sender, Endorsement(request.serial, request.vote_code, self.node_id, signature))
+
+    def _on_endorsement(self, sender: str, endorsement: Endorsement) -> None:
+        """Collect endorsements; at Nv - fv form the UCERT and disclose our share."""
+        if not self._within_voting_hours():
+            return
+        record = self.ballots.get(endorsement.serial)
+        if record is None or record.status is not BallotStatus.NOT_VOTED:
+            return
+        if not record.endorse_requested or record.location is None:
+            return
+        if not self._verify_endorsement(endorsement):
+            return
+        record.endorsements[endorsement.signer] = endorsement
+        if len(record.endorsements) < self.quorum:
+            return
+        vote_code = endorsement.vote_code
+        ucert = UniquenessCertificate(
+            endorsement.serial, vote_code, tuple(record.endorsements.values())
+        )
+        record.ucert = ucert
+        record.status = BallotStatus.PENDING
+        record.used_vote_code = vote_code
+        self._disclose_share(endorsement.serial, record, vote_code, ucert)
+
+    def _disclose_share(
+        self,
+        serial: int,
+        record: BallotRecord,
+        vote_code: bytes,
+        ucert: UniquenessCertificate,
+    ) -> None:
+        """Multicast our VOTE_P (receipt share) for this ballot, once."""
+        if record.vote_p_sent or record.location is None:
+            return
+        record.vote_p_sent = True
+        part, index = record.location
+        share = self.init.ballots[serial].receipt_share_at(part, index)
+        self.broadcast(self.peers, VotePending(serial, vote_code, share, ucert, self.node_id))
+
+    def _on_vote_pending(self, sender: str, pending: VotePending) -> None:
+        """Handle a peer's receipt share (VOTE_P)."""
+        if not self._within_voting_hours():
+            return
+        record = self.ballots.get(pending.serial)
+        view = self.init.ballots.get(pending.serial)
+        if record is None or view is None:
+            return
+        if not self.verify_ucert(pending.ucert):
+            return
+        if pending.ucert.serial != pending.serial or pending.ucert.vote_code != pending.vote_code:
+            return
+        if not SigningDealer.verify_share(
+            self.signature_scheme, self.init.dealer_public_key, pending.receipt_share
+        ):
+            return
+        if record.status is BallotStatus.NOT_VOTED:
+            location = view.find_vote_code(pending.vote_code)
+            if location is None:
+                return
+            record.location = location
+            record.status = BallotStatus.PENDING
+            record.used_vote_code = pending.vote_code
+            record.ucert = pending.ucert
+        elif record.used_vote_code != pending.vote_code:
+            # A valid UCERT exists for a different code than the one we hold;
+            # with an honest EA this cannot happen (UCERT uniqueness), so drop.
+            return
+        record.receipt_shares[pending.sender] = pending.receipt_share
+        record.ucert = record.ucert or pending.ucert
+        self._disclose_share(pending.serial, record, pending.vote_code, pending.ucert)
+        if (
+            record.status is not BallotStatus.VOTED
+            and len(record.receipt_shares) >= self.quorum
+        ):
+            self._reconstruct_receipt(pending.serial, record)
+
+    def _reconstruct_receipt(self, serial: int, record: BallotRecord) -> None:
+        """Rebuild the 64-bit receipt from Nv - fv verified shares."""
+        shares = [signed.share for signed in record.receipt_shares.values()]
+        value = self.receipt_sss.reconstruct(shares)
+        record.receipt = int_to_bytes(value, 8)
+        record.status = BallotStatus.VOTED
+        for voter in record.waiting_voters:
+            self.send(voter, VoteReceipt(serial, record.used_vote_code, record.receipt),
+                      channel=ChannelKind.PUBLIC)
+            self.receipts_issued += 1
+        record.waiting_voters.clear()
+
+    # ------------------------------------------------------------------ signature helpers
+
+    def _verify_endorsement(self, endorsement: Endorsement) -> bool:
+        public = self.init.vc_public_keys.get(endorsement.signer)
+        if public is None:
+            return False
+        return self.signature_scheme.verify(
+            public,
+            endorsement_message(endorsement.serial, endorsement.vote_code),
+            endorsement.signature,
+        )
+
+    def verify_ucert(self, ucert: Optional[UniquenessCertificate]) -> bool:
+        """Check a uniqueness certificate: Nv - fv valid signatures from distinct nodes."""
+        if ucert is None:
+            return False
+        signers = set()
+        for endorsement in ucert.endorsements:
+            if endorsement.serial != ucert.serial or endorsement.vote_code != ucert.vote_code:
+                continue
+            if endorsement.signer in signers:
+                continue
+            if self._verify_endorsement(endorsement):
+                signers.add(endorsement.signer)
+        return len(signers) >= self.quorum
+
+    # ------------------------------------------------------------------ Vote Set Consensus
+
+    def end_election(self) -> None:
+        """Freeze voting state and start Vote Set Consensus for every ballot."""
+        if self.vsc_started:
+            return
+        self.voting_closed = True
+        self.vsc_started = True
+        for serial, record in self.ballots.items():
+            state = self._consensus_record(serial)
+            vote_code = record.used_vote_code if record.ucert is not None else None
+            ucert = record.ucert if vote_code is not None else None
+            announce = Announce(serial, vote_code, ucert, self.node_id)
+            self.broadcast(self.peers, announce)
+
+    def _consensus_record(self, serial: int) -> ConsensusRecord:
+        if serial not in self.consensus:
+            self.consensus[serial] = ConsensusRecord()
+        return self.consensus[serial]
+
+    def _on_announce(self, sender: str, announce: Announce) -> None:
+        state = self._consensus_record(announce.serial)
+        if sender in state.announces:
+            return
+        state.announces[sender] = announce
+        # Adopt any valid vote code we did not know about.
+        if announce.vote_code is not None and self.verify_ucert(announce.ucert):
+            record = self.ballots.get(announce.serial)
+            if record is not None and record.ucert is None:
+                record.used_vote_code = announce.vote_code
+                record.ucert = announce.ucert
+                if record.status is BallotStatus.NOT_VOTED:
+                    record.status = BallotStatus.PENDING
+        if self.vsc_started and not state.proposed and len(state.announces) >= self.quorum:
+            self._start_consensus(announce.serial, state)
+
+    def _start_consensus(self, serial: int, state: ConsensusRecord) -> None:
+        state.proposed = True
+        record = self.ballots.get(serial)
+        opinion = 1 if (record is not None and record.ucert is not None) else 0
+        instance = self._ensure_instance(serial, state)
+        instance.propose(opinion)
+
+    def _ensure_instance(self, serial: int, state: ConsensusRecord) -> BinaryConsensusInstance:
+        if state.instance is None:
+            instance_id = str(serial)
+
+            def broadcast(message: ConsensusMessage, _serial=serial) -> None:
+                self.broadcast(self.peers, VscEnvelope(message, self.node_id))
+
+            def on_decide(instance_id_: str, value: int, _serial=serial) -> None:
+                self._on_consensus_decision(_serial, value)
+
+            state.instance = BinaryConsensusInstance(
+                instance_id=instance_id,
+                node_id=self.node_id,
+                num_nodes=self.num_vc,
+                num_faulty=self.thresholds.max_faulty_vc,
+                broadcast=broadcast,
+                on_decide=on_decide,
+            )
+            for sender, message in state.buffered:
+                state.instance.handle(sender, message)
+            state.buffered.clear()
+        return state.instance
+
+    def _on_consensus_message(self, sender: str, message: ConsensusMessage) -> None:
+        serial = int(message.instance)
+        state = self._consensus_record(serial)
+        if state.instance is None:
+            # Buffer until we have created the instance (we create it eagerly
+            # here as well, since handling before propose() is safe).
+            self._ensure_instance(serial, state)
+        state.instance.handle(sender, message)
+
+    def _on_consensus_decision(self, serial: int, value: int) -> None:
+        state = self._consensus_record(serial)
+        if state.decided is not None:
+            return
+        state.decided = value
+        record = self.ballots.get(serial)
+        if value == 0:
+            state.final_vote_code = None
+            state.resolved = True
+        else:
+            if record is not None and record.ucert is not None:
+                state.final_vote_code = record.used_vote_code
+                state.resolved = True
+            elif not state.recover_requested:
+                # We decided "voted" without knowing the winning code: recover.
+                state.recover_requested = True
+                self.broadcast(self.peers, RecoverRequest(serial, self.node_id))
+        self._maybe_finish_vsc()
+
+    def _on_recover_request(self, request: RecoverRequest) -> None:
+        record = self.ballots.get(request.serial)
+        if record is None or record.ucert is None or record.used_vote_code is None:
+            return
+        self.send(
+            request.sender,
+            RecoverResponse(request.serial, record.used_vote_code, record.ucert, self.node_id),
+        )
+
+    def _on_recover_response(self, response: RecoverResponse) -> None:
+        state = self._consensus_record(response.serial)
+        if state.resolved or state.decided != 1:
+            return
+        if not self.verify_ucert(response.ucert):
+            return
+        if response.ucert.serial != response.serial or response.ucert.vote_code != response.vote_code:
+            return
+        state.final_vote_code = response.vote_code
+        state.resolved = True
+        record = self.ballots.get(response.serial)
+        if record is not None:
+            record.used_vote_code = response.vote_code
+            record.ucert = response.ucert
+        self._maybe_finish_vsc()
+
+    def _maybe_finish_vsc(self) -> None:
+        """Upload the final vote set to every BB node once every ballot is resolved."""
+        if self.uploaded or not self.vsc_started:
+            return
+        if len(self.consensus) < len(self.ballots):
+            return
+        if not all(state.resolved for state in self.consensus.values()):
+            return
+        vote_set = tuple(
+            sorted(
+                (serial, state.final_vote_code)
+                for serial, state in self.consensus.items()
+                if state.final_vote_code is not None
+            )
+        )
+        self.final_vote_set = vote_set
+        self.uploaded = True
+        for bb in self.bb_nodes:
+            self.send(bb, VoteSetUpload(vote_set, self.node_id))
+            self.send(bb, MskShareUpload(self.init.msk_share, self.node_id))

@@ -1,0 +1,57 @@
+"""Cryptographic substrates used by the D-DEMOS reproduction.
+
+This package provides every cryptographic building block the paper relies on,
+implemented from scratch on top of the Python standard library:
+
+* :mod:`repro.crypto.group` -- prime-order group abstraction with an
+  elliptic-curve backend (secp256k1 parameters) and a fast multiplicative
+  Schnorr-group backend for testing.
+* :mod:`repro.crypto.elgamal` -- lifted (additively homomorphic) ElGamal.
+* :mod:`repro.crypto.commitments` -- option-encoding commitments (vectors of
+  lifted ElGamal ciphertexts) with component-wise homomorphic addition.
+* :mod:`repro.crypto.zkp` -- Chaum-Pedersen Sigma-OR proofs that a ciphertext
+  encrypts 0 or 1 and that an encoded option vector sums to one.
+* :mod:`repro.crypto.pedersen_vss` -- Pedersen verifiable secret sharing.
+* :mod:`repro.crypto.shamir` -- Shamir secret sharing with a signing dealer
+  ("VSS with honest dealer" of the paper).
+* :mod:`repro.crypto.signatures` -- Schnorr digital signatures.
+* :mod:`repro.crypto.symmetric` -- salted hash commitments and the symmetric
+  vote-code encryption layer (SHA-256 CTR substitute for AES-128-CBC$).
+"""
+
+from repro.crypto.group import EcGroup, SchnorrGroup, default_group
+from repro.crypto.elgamal import ElGamalKeyPair, ElGamalCiphertext, LiftedElGamal
+from repro.crypto.commitments import OptionCommitment, OptionEncodingScheme
+from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier
+from repro.crypto.pedersen_vss import PedersenVSS, PedersenShare
+from repro.crypto.shamir import ShamirSecretSharing, SignedShare
+from repro.crypto.signatures import SchnorrKeyPair, SchnorrSignature
+from repro.crypto.symmetric import (
+    SaltedHashCommitment,
+    VoteCodeCipher,
+    commit_vote_code,
+    verify_vote_code,
+)
+
+__all__ = [
+    "EcGroup",
+    "SchnorrGroup",
+    "default_group",
+    "ElGamalKeyPair",
+    "ElGamalCiphertext",
+    "LiftedElGamal",
+    "OptionCommitment",
+    "OptionEncodingScheme",
+    "BallotCorrectnessProver",
+    "BallotCorrectnessVerifier",
+    "PedersenVSS",
+    "PedersenShare",
+    "ShamirSecretSharing",
+    "SignedShare",
+    "SchnorrKeyPair",
+    "SchnorrSignature",
+    "SaltedHashCommitment",
+    "VoteCodeCipher",
+    "commit_vote_code",
+    "verify_vote_code",
+]

@@ -1,0 +1,314 @@
+"""Prime-order group abstraction with two interchangeable backends.
+
+The paper performs all homomorphic cryptography over an elliptic curve (via
+the MIRACL library).  This module provides:
+
+* :class:`EcGroup` -- a pure-Python short-Weierstrass curve with the
+  secp256k1 parameters.  Points are represented in affine coordinates with
+  Jacobian arithmetic internally for speed.
+* :class:`SchnorrGroup` -- a multiplicative subgroup of prime order ``q`` of
+  ``Z_p^*``.  Functionally identical for every protocol in this repository and
+  much faster in pure Python, so tests default to it.
+
+Both expose the same tiny interface (:class:`Group` / :class:`GroupElement`)
+so ElGamal, the commitments, the zero-knowledge proofs, Pedersen VSS and the
+Schnorr signatures are written once and run over either backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.utils import RandomSource, default_random, hash_to_scalar, sha256
+
+
+class GroupElement:
+    """Abstract element of a prime-order group (written multiplicatively)."""
+
+    group: "Group"
+
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        raise NotImplementedError
+
+    def __pow__(self, exponent: int) -> "GroupElement":
+        raise NotImplementedError
+
+    def inverse(self) -> "GroupElement":
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        raise NotImplementedError
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        return self * other.inverse()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GroupElement) and self.serialize() == other.serialize()
+
+    def __hash__(self) -> int:
+        return hash(self.serialize())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.serialize().hex()[:16]}...>"
+
+
+class Group:
+    """Abstract prime-order group."""
+
+    #: order of the group (a prime)
+    order: int
+
+    def generator(self) -> GroupElement:
+        """Return the fixed generator ``g``."""
+        raise NotImplementedError
+
+    def second_generator(self) -> GroupElement:
+        """Return an independent generator ``h`` (nothing-up-my-sleeve)."""
+        raise NotImplementedError
+
+    def identity(self) -> GroupElement:
+        """Return the identity element."""
+        raise NotImplementedError
+
+    def random_scalar(self, rng: Optional[RandomSource] = None) -> int:
+        """Return a uniformly random exponent in ``[1, order)``."""
+        rng = rng or default_random()
+        return rng.randint_range(1, self.order)
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash arbitrary byte strings into an exponent."""
+        return hash_to_scalar(self.order, *parts)
+
+    def deserialize(self, data: bytes) -> GroupElement:
+        """Inverse of :meth:`GroupElement.serialize`."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Multiplicative Schnorr group backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchnorrElement(GroupElement):
+    """Element of a Schnorr group: an integer modulo ``p``."""
+
+    value: int
+    group: "SchnorrGroup"
+
+    def __mul__(self, other: GroupElement) -> "SchnorrElement":
+        assert isinstance(other, SchnorrElement)
+        return SchnorrElement((self.value * other.value) % self.group.p, self.group)
+
+    def __pow__(self, exponent: int) -> "SchnorrElement":
+        return SchnorrElement(
+            pow(self.value, exponent % self.group.order, self.group.p), self.group
+        )
+
+    def inverse(self) -> "SchnorrElement":
+        return SchnorrElement(pow(self.value, -1, self.group.p), self.group)
+
+    def serialize(self) -> bytes:
+        length = (self.group.p.bit_length() + 7) // 8
+        return b"S" + self.value.to_bytes(length, "big")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SchnorrElement) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("schnorr", self.value))
+
+
+class SchnorrGroup(Group):
+    """Prime-order subgroup of ``Z_p^*`` with ``p = 2q + 1`` (safe prime).
+
+    The default parameters use a 256-bit safe prime, which keeps pure-Python
+    exponentiation fast enough for full end-to-end election tests while still
+    being an actual DDH-hard group.
+    """
+
+    # 256-bit safe prime p = 2q + 1 (q prime), generated with a Miller-Rabin
+    # search; see DESIGN.md.  g = 2^2 is a quadratic residue and therefore
+    # generates the order-q subgroup.
+    _DEFAULT_P = 0x9F9B41D4CD3CC3DB42914B1DF5F84DA30C82ED1E4728E754FDA103B8924619F3
+    _DEFAULT_G = 4
+
+    def __init__(self, p: Optional[int] = None, g: Optional[int] = None):
+        self.p = p if p is not None else self._DEFAULT_P
+        self.order = (self.p - 1) // 2
+        base = g if g is not None else self._DEFAULT_G
+        self._g = SchnorrElement(base % self.p, self)
+        self._h = self._derive_second_generator()
+
+    def _derive_second_generator(self) -> "SchnorrElement":
+        # Hash the generator to obtain an independent element of the subgroup.
+        seed = sha256(b"d-demos-second-generator", self._g.serialize())
+        candidate = int.from_bytes(seed, "big") % self.p
+        # Square to force membership in the order-q subgroup of QRs.
+        value = pow(candidate, 2, self.p)
+        if value in (0, 1):
+            value = pow(self._DEFAULT_G + 1, 2, self.p)
+        return SchnorrElement(value, self)
+
+    def generator(self) -> SchnorrElement:
+        return self._g
+
+    def second_generator(self) -> SchnorrElement:
+        return self._h
+
+    def identity(self) -> SchnorrElement:
+        return SchnorrElement(1, self)
+
+    def element(self, value: int) -> SchnorrElement:
+        """Wrap an integer (assumed to be a subgroup member) as an element."""
+        return SchnorrElement(value % self.p, self)
+
+    def deserialize(self, data: bytes) -> SchnorrElement:
+        if not data.startswith(b"S"):
+            raise ValueError("not a Schnorr group element")
+        return SchnorrElement(int.from_bytes(data[1:], "big"), self)
+
+    def is_member(self, element: SchnorrElement) -> bool:
+        """Check subgroup membership (value^q == 1 mod p)."""
+        return pow(element.value, self.order, self.p) == 1
+
+
+# ---------------------------------------------------------------------------
+# Elliptic curve backend (secp256k1 parameters)
+# ---------------------------------------------------------------------------
+
+
+_SECP256K1_P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+_SECP256K1_A = 0
+_SECP256K1_B = 7
+_SECP256K1_N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+_SECP256K1_GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+_SECP256K1_GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class EcPoint(GroupElement):
+    """Affine point on the curve; ``None`` coordinates encode infinity."""
+
+    x: Optional[int]
+    y: Optional[int]
+    group: "EcGroup"
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __mul__(self, other: GroupElement) -> "EcPoint":
+        assert isinstance(other, EcPoint)
+        return self.group._add(self, other)
+
+    def __pow__(self, exponent: int) -> "EcPoint":
+        return self.group._scalar_mul(self, exponent % self.group.order)
+
+    def inverse(self) -> "EcPoint":
+        if self.is_infinity:
+            return self
+        return EcPoint(self.x, (-self.y) % self.group.p, self.group)
+
+    def serialize(self) -> bytes:
+        if self.is_infinity:
+            return b"E\x00"
+        return b"E\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EcPoint) and self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash(("ec", self.x, self.y))
+
+
+class EcGroup(Group):
+    """secp256k1 written multiplicatively (point addition is ``*``)."""
+
+    def __init__(self):
+        self.p = _SECP256K1_P
+        self.a = _SECP256K1_A
+        self.b = _SECP256K1_B
+        self.order = _SECP256K1_N
+        self._g = EcPoint(_SECP256K1_GX, _SECP256K1_GY, self)
+        self._infinity = EcPoint(None, None, self)
+        self._h = self._derive_second_generator()
+
+    # -- basic point arithmetic ------------------------------------------------
+
+    def _add(self, p1: EcPoint, p2: EcPoint) -> EcPoint:
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        if p1.x == p2.x and (p1.y + p2.y) % self.p == 0:
+            return self._infinity
+        if p1.x == p2.x:
+            slope = (3 * p1.x * p1.x + self.a) * pow(2 * p1.y, -1, self.p) % self.p
+        else:
+            slope = (p2.y - p1.y) * pow(p2.x - p1.x, -1, self.p) % self.p
+        x3 = (slope * slope - p1.x - p2.x) % self.p
+        y3 = (slope * (p1.x - x3) - p1.y) % self.p
+        return EcPoint(x3, y3, self)
+
+    def _scalar_mul(self, point: EcPoint, scalar: int) -> EcPoint:
+        result = self._infinity
+        addend = point
+        while scalar:
+            if scalar & 1:
+                result = self._add(result, addend)
+            addend = self._add(addend, addend)
+            scalar >>= 1
+        return result
+
+    # -- Group interface -------------------------------------------------------
+
+    def generator(self) -> EcPoint:
+        return self._g
+
+    def second_generator(self) -> EcPoint:
+        return self._h
+
+    def identity(self) -> EcPoint:
+        return self._infinity
+
+    def _derive_second_generator(self) -> EcPoint:
+        """Hash-to-curve by incrementing an x candidate until it is on-curve."""
+        counter = 0
+        while True:
+            digest = sha256(b"d-demos-ec-h", counter.to_bytes(4, "big"))
+            x = int.from_bytes(digest, "big") % self.p
+            rhs = (pow(x, 3, self.p) + self.a * x + self.b) % self.p
+            y = pow(rhs, (self.p + 1) // 4, self.p)
+            if (y * y) % self.p == rhs:
+                return EcPoint(x, y, self)
+            counter += 1
+
+    def is_on_curve(self, point: EcPoint) -> bool:
+        """Check whether an affine point satisfies the curve equation."""
+        if point.is_infinity:
+            return True
+        lhs = (point.y * point.y) % self.p
+        rhs = (pow(point.x, 3, self.p) + self.a * point.x + self.b) % self.p
+        return lhs == rhs
+
+    def deserialize(self, data: bytes) -> EcPoint:
+        if not data.startswith(b"E"):
+            raise ValueError("not an EC point")
+        if data[1:2] == b"\x00":
+            return self._infinity
+        x = int.from_bytes(data[2:34], "big")
+        y = int.from_bytes(data[34:66], "big")
+        return EcPoint(x, y, self)
+
+
+_DEFAULT_GROUP: Optional[SchnorrGroup] = None
+
+
+def default_group() -> SchnorrGroup:
+    """Return the process-wide default group (fast Schnorr backend)."""
+    global _DEFAULT_GROUP
+    if _DEFAULT_GROUP is None:
+        _DEFAULT_GROUP = SchnorrGroup()
+    return _DEFAULT_GROUP

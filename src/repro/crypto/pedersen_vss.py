@@ -1,0 +1,149 @@
+"""Pedersen verifiable secret sharing (VSS).
+
+Trustee initialization data contains ``(ht, Nt)``-VSS shares of the openings
+of every option-encoding commitment.  Pedersen's scheme [Pedersen 1991] is
+used because it is *verifiable* (each share can be checked against public
+polynomial commitments, so a malicious dealer or a corrupted trustee cannot
+slip in a bad share) and *additively homomorphic* (a share of ``a + b`` is the
+sum of a share of ``a`` and a share of ``b``), which is exactly what lets each
+trustee locally compute its share of the homomorphic tally total and submit
+only that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.group import Group, GroupElement, default_group
+from repro.crypto.utils import RandomSource, default_random
+
+
+@dataclass(frozen=True)
+class PedersenShare:
+    """One trustee's share: evaluation point, secret share and blinding share."""
+
+    index: int
+    value: int
+    blinding: int
+
+    def __add__(self, other: "PedersenShare") -> "PedersenShare":
+        if self.index != other.index:
+            raise ValueError("can only add shares held by the same trustee")
+        return PedersenShare(self.index, self.value + other.value, self.blinding + other.blinding)
+
+
+@dataclass(frozen=True)
+class PedersenCommitments:
+    """Public commitments to the sharing polynomials' coefficients."""
+
+    commitments: tuple
+
+    def __mul__(self, other: "PedersenCommitments") -> "PedersenCommitments":
+        """Homomorphically add the underlying secrets/polynomials."""
+        if len(self.commitments) != len(other.commitments):
+            raise ValueError("mismatched polynomial degrees")
+        return PedersenCommitments(
+            tuple(a * b for a, b in zip(self.commitments, other.commitments))
+        )
+
+
+@dataclass(frozen=True)
+class PedersenDealing:
+    """Everything produced when dealing one secret: shares + public commitments."""
+
+    shares: tuple
+    commitments: PedersenCommitments
+
+
+class PedersenVSS:
+    """(k, n) Pedersen verifiable secret sharing over a prime-order group."""
+
+    def __init__(self, threshold: int, num_shares: int, group: Optional[Group] = None):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if num_shares < threshold:
+            raise ValueError("cannot have fewer shares than the threshold")
+        self.threshold = threshold
+        self.num_shares = num_shares
+        self.group = group or default_group()
+        self.g = self.group.generator()
+        self.h = self.group.second_generator()
+        self.q = self.group.order
+
+    # -- dealing -------------------------------------------------------------
+
+    def deal(self, secret: int, rng: Optional[RandomSource] = None) -> PedersenDealing:
+        """Share ``secret`` among ``num_shares`` parties."""
+        rng = rng or default_random()
+        secret %= self.q
+        blinding = self.group.random_scalar(rng)
+        # f(x) shares the secret, r(x) shares the blinding value.
+        f_coeffs = [secret] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
+        r_coeffs = [blinding] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
+        commitments = tuple(
+            (self.g ** a) * (self.h ** b) for a, b in zip(f_coeffs, r_coeffs)
+        )
+        shares = tuple(
+            PedersenShare(i, self._evaluate(f_coeffs, i), self._evaluate(r_coeffs, i))
+            for i in range(1, self.num_shares + 1)
+        )
+        return PedersenDealing(shares, PedersenCommitments(commitments))
+
+    def _evaluate(self, coefficients: Sequence[int], x: int) -> int:
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.q
+        return result
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_share(self, share: PedersenShare, commitments: PedersenCommitments) -> bool:
+        """Check a share against the public polynomial commitments."""
+        lhs = (self.g ** (share.value % self.q)) * (self.h ** (share.blinding % self.q))
+        rhs = self.group.identity()
+        power = 1
+        for commitment in commitments.commitments:
+            rhs = rhs * (commitment ** power)
+            power = (power * share.index) % self.q
+        return lhs == rhs
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def reconstruct(self, shares: Sequence[PedersenShare]) -> int:
+        """Recover the secret from at least ``threshold`` distinct shares."""
+        unique: Dict[int, PedersenShare] = {}
+        for share in shares:
+            unique[share.index] = share
+        if len(unique) < self.threshold:
+            raise ValueError(
+                f"need at least {self.threshold} shares, got {len(unique)}"
+            )
+        points = list(unique.values())[: self.threshold]
+        secret = 0
+        for i, share in enumerate(points):
+            numerator, denominator = 1, 1
+            for j, other in enumerate(points):
+                if i == j:
+                    continue
+                numerator = (numerator * (-other.index)) % self.q
+                denominator = (denominator * (share.index - other.index)) % self.q
+            lagrange = numerator * pow(denominator, -1, self.q)
+            secret = (secret + share.value * lagrange) % self.q
+        return secret
+
+    # -- homomorphism -----------------------------------------------------------
+
+    @staticmethod
+    def add_shares(shares: Sequence[PedersenShare]) -> PedersenShare:
+        """Sum the shares one trustee holds for several secrets.
+
+        The result is that trustee's share of the sum of the secrets, which is
+        how a trustee contributes its share of the homomorphic tally total.
+        """
+        if not shares:
+            raise ValueError("cannot add an empty list of shares")
+        total = shares[0]
+        for share in shares[1:]:
+            total = total + share
+        return total

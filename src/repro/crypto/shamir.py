@@ -1,0 +1,168 @@
+"""Shamir secret sharing with a signing dealer.
+
+The paper secret-shares two kinds of values across the VC nodes:
+
+* the 64-bit receipts printed on each ballot, with an ``(Nv - fv, Nv)``
+  threshold, so a receipt can only be reconstructed when a strong majority of
+  VC nodes cooperates; and
+* the 128-bit master key ``msk`` protecting the encrypted vote codes on the BB.
+
+The implementation follows the paper's own prototype: plain Shamir sharing
+over a prime field where the dealer (the EA) signs each share, yielding a
+"verifiable secret sharing with honest dealer".  A share carries the dealer's
+signature so any node can check that a share it receives from another node was
+genuinely produced by the EA, which is what lets the receipt-reconstruction
+step reject garbage shares injected by Byzantine nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.signatures import SchnorrKeyPair, SchnorrSignature, SignatureScheme
+from repro.crypto.utils import RandomSource, default_random
+
+#: A prime slightly above 2^255; the field in which shares live.  It is large
+#: enough to hold 64-bit receipts, 128-bit keys and 160-bit vote codes.
+DEFAULT_PRIME = 2 ** 255 + 95
+
+
+@dataclass(frozen=True)
+class Share:
+    """A single Shamir share ``(x, f(x))`` of some secret."""
+
+    index: int
+    value: int
+
+    def serialize(self) -> bytes:
+        return self.index.to_bytes(4, "big") + self.value.to_bytes(32, "big")
+
+
+@dataclass(frozen=True)
+class SignedShare:
+    """A Shamir share together with the dealer's signature and a context tag."""
+
+    share: Share
+    context: bytes
+    signature: SchnorrSignature
+
+    @property
+    def index(self) -> int:
+        return self.share.index
+
+    @property
+    def value(self) -> int:
+        return self.share.value
+
+
+class ShamirSecretSharing:
+    """Threshold secret sharing over ``GF(prime)``."""
+
+    def __init__(self, threshold: int, num_shares: int, prime: int = DEFAULT_PRIME):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if num_shares < threshold:
+            raise ValueError("cannot have fewer shares than the threshold")
+        if prime <= num_shares:
+            raise ValueError("field too small for the number of shares")
+        self.threshold = threshold
+        self.num_shares = num_shares
+        self.prime = prime
+
+    # -- sharing ------------------------------------------------------------
+
+    def share(self, secret: int, rng: Optional[RandomSource] = None) -> List[Share]:
+        """Split ``secret`` into ``num_shares`` shares of threshold ``threshold``."""
+        rng = rng or default_random()
+        secret %= self.prime
+        coefficients = [secret] + [
+            rng.randint_below(self.prime) for _ in range(self.threshold - 1)
+        ]
+        return [
+            Share(index, self._evaluate(coefficients, index))
+            for index in range(1, self.num_shares + 1)
+        ]
+
+    def _evaluate(self, coefficients: Sequence[int], x: int) -> int:
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.prime
+        return result
+
+    # -- reconstruction ------------------------------------------------------
+
+    def reconstruct(self, shares: Sequence[Share]) -> int:
+        """Recover the secret from at least ``threshold`` distinct shares."""
+        unique: Dict[int, int] = {}
+        for share in shares:
+            unique[share.index] = share.value
+        if len(unique) < self.threshold:
+            raise ValueError(
+                f"need at least {self.threshold} shares, got {len(unique)}"
+            )
+        points = list(unique.items())[: self.threshold]
+        secret = 0
+        for i, (xi, yi) in enumerate(points):
+            numerator, denominator = 1, 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                numerator = (numerator * (-xj)) % self.prime
+                denominator = (denominator * (xi - xj)) % self.prime
+            lagrange = numerator * pow(denominator, -1, self.prime)
+            secret = (secret + yi * lagrange) % self.prime
+        return secret
+
+
+class SigningDealer:
+    """EA-side helper that shares secrets and signs every share."""
+
+    def __init__(
+        self,
+        threshold: int,
+        num_shares: int,
+        dealer_keys: Optional[SchnorrKeyPair] = None,
+        prime: int = DEFAULT_PRIME,
+    ):
+        self.sss = ShamirSecretSharing(threshold, num_shares, prime)
+        self.scheme = SignatureScheme()
+        self.keys = dealer_keys or self.scheme.keygen()
+
+    @property
+    def public_key(self):
+        """The dealer's public verification key, handed to every node."""
+        return self.keys.public
+
+    def deal(
+        self, secret: int, context: bytes, rng: Optional[RandomSource] = None
+    ) -> List[SignedShare]:
+        """Share a secret and sign each share under a context tag.
+
+        The ``context`` binds a share to what it is a share *of* (for example
+        ``b"receipt|serial|part|row"``), preventing share-mixing attacks.
+        """
+        shares = self.sss.share(secret, rng=rng)
+        signed = []
+        for share in shares:
+            message = context + b"|" + share.serialize()
+            signature = self.scheme.sign(self.keys, message)
+            signed.append(SignedShare(share, context, signature))
+        return signed
+
+    @staticmethod
+    def verify_share(
+        scheme: SignatureScheme, dealer_public, signed_share: SignedShare
+    ) -> bool:
+        """Check the dealer's signature on a share."""
+        message = signed_share.context + b"|" + signed_share.share.serialize()
+        return scheme.verify(dealer_public, message, signed_share.signature)
+
+    def reconstruct(self, shares: Sequence[SignedShare]) -> int:
+        """Reconstruct from signed shares, ignoring invalid signatures."""
+        valid = [
+            signed.share
+            for signed in shares
+            if self.verify_share(self.scheme, self.keys.public, signed)
+        ]
+        return self.sss.reconstruct(valid)

@@ -1,0 +1,83 @@
+"""Schnorr digital signatures over the shared group abstraction.
+
+The paper has the EA generate all public/private key pairs for the system
+components (no external PKI).  VC nodes sign ENDORSEMENT messages, trustee
+writes to the BB are verified by trustee keys, and the EA signs the Shamir
+shares it deals.  Any EUF-CMA signature scheme satisfies the model; we use
+Schnorr signatures because they reuse the group code already present for
+ElGamal and Pedersen commitments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.group import Group, GroupElement, default_group
+from repro.crypto.utils import RandomSource, default_random
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A Schnorr signing key pair ``(x, X = g^x)``."""
+
+    secret: int
+    public: GroupElement
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature ``(challenge, response)``."""
+
+    challenge: int
+    response: int
+
+    def serialize(self) -> bytes:
+        return self.challenge.to_bytes(32, "big") + self.response.to_bytes(32, "big")
+
+
+class SignatureScheme:
+    """Schnorr signatures with Fiat-Shamir challenges."""
+
+    def __init__(self, group: Optional[Group] = None):
+        self.group = group or default_group()
+
+    def keygen(self, rng: Optional[RandomSource] = None) -> SchnorrKeyPair:
+        """Generate a fresh signing key pair."""
+        rng = rng or default_random()
+        secret = self.group.random_scalar(rng)
+        return SchnorrKeyPair(secret, self.group.generator() ** secret)
+
+    def sign(
+        self,
+        keys: SchnorrKeyPair,
+        message: bytes,
+        rng: Optional[RandomSource] = None,
+    ) -> SchnorrSignature:
+        """Sign ``message`` with the secret key."""
+        rng = rng or default_random()
+        nonce = self.group.random_scalar(rng)
+        commitment = self.group.generator() ** nonce
+        challenge = self.group.hash_to_scalar(
+            b"d-demos-schnorr-sig",
+            keys.public.serialize(),
+            commitment.serialize(),
+            message,
+        )
+        response = (nonce + challenge * keys.secret) % self.group.order
+        return SchnorrSignature(challenge, response)
+
+    def verify(
+        self, public: GroupElement, message: bytes, signature: SchnorrSignature
+    ) -> bool:
+        """Verify a signature on ``message`` under ``public``."""
+        g = self.group.generator()
+        # Recompute the commitment: R = g^s / X^c.
+        commitment = (g ** signature.response) * (public ** signature.challenge).inverse()
+        expected = self.group.hash_to_scalar(
+            b"d-demos-schnorr-sig",
+            public.serialize(),
+            commitment.serialize(),
+            message,
+        )
+        return expected == signature.challenge

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event network simulation.
+
+The paper's model (Section III-C) assumes a fully connected, asynchronous
+network where the adversary may drop, delay, duplicate or reorder messages,
+but honest messages are eventually delivered; node clocks may drift from the
+global clock by at most a bound.  This package provides exactly that model as
+an in-process, deterministic discrete-event simulator so protocol executions
+are reproducible and the adversary is programmable.
+"""
+
+from repro.net.clock import GlobalClock, NodeClock
+from repro.net.channels import Message, Channel
+from repro.net.simulator import Network, SimNode, Event
+from repro.net.adversary import Adversary, NetworkConditions
+
+__all__ = [
+    "GlobalClock",
+    "NodeClock",
+    "Message",
+    "Channel",
+    "Network",
+    "SimNode",
+    "Event",
+    "Adversary",
+    "NetworkConditions",
+]

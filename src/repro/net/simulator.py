@@ -1,0 +1,203 @@
+"""Deterministic discrete-event network simulator.
+
+The simulator replaces the paper's Netty/TLS deployment with an in-process
+event loop: nodes are objects with an ``on_message`` handler, sends become
+events on a priority queue, and the :class:`~repro.net.adversary.Adversary`
+plus :class:`~repro.net.adversary.NetworkConditions` decide when (or whether)
+each message arrives.  Everything is driven by explicit seeds so a protocol
+execution -- including Byzantine behaviour and message reordering -- is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.channels import ChannelKind, DeliveryRecord, Message
+from repro.net.clock import ClockRegistry, GlobalClock
+
+
+@dataclass(order=True)
+class Event:
+    """An entry in the simulator's priority queue."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    description: str = field(compare=False, default="")
+
+
+class SimNode:
+    """Base class for every simulated protocol participant.
+
+    Subclasses implement :meth:`on_message`; they send through :meth:`send`,
+    :meth:`broadcast` and can schedule local timers with :meth:`set_timer`.
+    """
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.network: Optional["Network"] = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the node is registered."""
+        self.network = network
+
+    @property
+    def clock(self):
+        """The node's internal clock."""
+        return self.network.clocks.clock_of(self.node_id)
+
+    @property
+    def now(self) -> float:
+        """Current internal time of this node."""
+        return self.clock.now
+
+    # -- messaging ---------------------------------------------------------------
+
+    def send(self, receiver: str, payload: Any, channel: ChannelKind = ChannelKind.AUTHENTICATED) -> None:
+        """Send a message to a single node."""
+        self.network.submit(self.node_id, receiver, payload, channel)
+
+    def broadcast(self, receivers: Iterable[str], payload: Any,
+                  channel: ChannelKind = ChannelKind.AUTHENTICATED) -> None:
+        """Send the same payload to many nodes (including possibly ourselves)."""
+        for receiver in receivers:
+            self.send(receiver, payload, channel)
+
+    def set_timer(self, delay: float, callback: Callable[[], None], description: str = "timer") -> None:
+        """Schedule a local callback ``delay`` time units in the future."""
+        self.network.schedule(delay, callback, description=f"{self.node_id}:{description}")
+
+    # -- handlers ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message; subclasses override."""
+        raise NotImplementedError
+
+
+class Network:
+    """The event loop tying nodes, clocks, conditions and the adversary together."""
+
+    def __init__(
+        self,
+        conditions: Optional[NetworkConditions] = None,
+        adversary: Optional[Adversary] = None,
+        max_drift: Optional[float] = None,
+    ):
+        self.conditions = conditions or NetworkConditions()
+        self.adversary = adversary or Adversary()
+        self.clocks = ClockRegistry(GlobalClock(), max_drift=max_drift)
+        self.nodes: Dict[str, SimNode] = {}
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self.delivery_log: List[DeliveryRecord] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, node: SimNode, clock_drift: float = 0.0) -> SimNode:
+        """Add a node to the simulation."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        self.clocks.register(node.node_id, drift=clock_drift)
+        node.attach(self)
+        return node
+
+    def register_all(self, nodes: Iterable[SimNode]) -> None:
+        for node in nodes:
+            self.register(node)
+
+    @property
+    def now(self) -> float:
+        """Current global time."""
+        return self.clocks.global_clock.now
+
+    # -- sending ---------------------------------------------------------------
+
+    def submit(self, sender: str, receiver: str, payload: Any,
+               channel: ChannelKind = ChannelKind.AUTHENTICATED) -> None:
+        """Submit a message for (possible) delivery."""
+        self.messages_sent += 1
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            channel=channel,
+            send_time=self.now,
+        )
+        extra_delay = self.adversary.schedule(message)
+        if extra_delay is None or self.conditions.should_drop():
+            self.messages_dropped += 1
+            self.delivery_log.append(DeliveryRecord(message, self.now, dropped=True))
+            return
+        latency = self.conditions.sample_latency() + extra_delay
+        self._enqueue_delivery(message, latency)
+        if self.conditions.should_duplicate():
+            duplicate = message.duplicate()
+            self._enqueue_delivery(duplicate, self.conditions.sample_latency() + extra_delay, duplicated=True)
+
+    def _enqueue_delivery(self, message: Message, latency: float, duplicated: bool = False) -> None:
+        deliver_time = self.now + max(latency, 0.0)
+        message.deliver_time = deliver_time
+
+        def deliver() -> None:
+            receiver = self.nodes.get(message.receiver)
+            if receiver is None:
+                return
+            self.messages_delivered += 1
+            self.delivery_log.append(DeliveryRecord(message, self.now, duplicated=duplicated))
+            receiver.on_message(message)
+
+        self.schedule_at(deliver_time, deliver, description=f"deliver->{message.receiver}")
+
+    # -- event queue --------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None], description: str = "") -> None:
+        """Schedule an action ``delay`` time units from now."""
+        self.schedule_at(self.now + max(delay, 0.0), action, description)
+
+    def schedule_at(self, timestamp: float, action: Callable[[], None], description: str = "") -> None:
+        """Schedule an action at an absolute global time."""
+        heapq.heappush(self._queue, Event(timestamp, next(self._sequence), action, description))
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.clocks.global_clock.advance_to(event.time)
+        event.action()
+        return True
+
+    def run(self, max_events: int = 1_000_000, until: Optional[float] = None) -> int:
+        """Run events until the queue drains, a deadline passes, or a budget is hit.
+
+        Returns the number of events processed.  The budget guards against
+        protocol bugs producing infinite message storms in tests.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            if until is not None and self._queue[0].time > until:
+                break
+            self.step()
+            processed += 1
+        if processed >= max_events:
+            raise RuntimeError("event budget exhausted; possible message storm")
+        return processed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain."""
+        return self.run(max_events=max_events)
+
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,36 @@
+"""Performance-model harness.
+
+The paper evaluates its prototype on a 12-machine cluster (4 hexa-core
+machines running VC nodes, 8 client machines), with PostgreSQL-backed or
+in-memory election data and either a Gigabit LAN or a netem-emulated WAN
+(25 ms inter-VC latency).  That hardware is not available here, so this
+package reproduces the evaluation with a calibrated *performance model*:
+
+* :mod:`repro.perf.costmodel` -- per-operation CPU costs (signatures, hashes,
+  share verification, database lookups) and the machine/network topology of
+  the paper's testbed.
+* :mod:`repro.perf.loadsim`  -- a closed-loop discrete-event simulation of the
+  vote-collection protocol under ``cc`` concurrent clients, producing the
+  throughput and latency numbers behind Figures 4a-4f, 5a and 5b.
+* :mod:`repro.perf.phases`   -- the phase-duration model behind Figure 5c.
+
+Absolute numbers are not expected to match the authors' testbed; the curve
+shapes (who wins, where the knees are) are the reproduction target, as stated
+in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from repro.perf.costmodel import CryptoCosts, DatabaseCosts, MachineSpec, NetworkProfile, CostModel
+from repro.perf.loadsim import LoadResult, VoteCollectionLoadSimulator
+from repro.perf.phases import PhaseDurations, phase_breakdown
+
+__all__ = [
+    "CryptoCosts",
+    "DatabaseCosts",
+    "MachineSpec",
+    "NetworkProfile",
+    "CostModel",
+    "LoadResult",
+    "VoteCollectionLoadSimulator",
+    "PhaseDurations",
+    "phase_breakdown",
+]

@@ -1,0 +1,211 @@
+"""Calibrated cost model of the vote-collection protocol.
+
+Every quantity is expressed in milliseconds of CPU time (for work) or
+milliseconds of one-way latency (for network hops).  The calibration targets
+the order of magnitude of the paper's testbed (hexa-core Xeon E5-2420 @
+1.9 GHz, MIRACL elliptic-curve operations, PostgreSQL storage); the exact
+values matter much less than the *structure* of the model:
+
+* per-vote CPU work grows roughly quadratically in the number of VC nodes
+  (every node verifies O(Nv) signatures/shares for every vote), which is what
+  produces the throughput decline of Figures 4b/4e;
+* the critical path of a vote contains a constant number of message rounds,
+  so WAN latency adds a constant to response time but does not reduce
+  saturated throughput (Figures 4d/4e vs 4a/4b);
+* database-backed experiments add a per-vote lookup cost that grows slowly
+  with the electorate size ``n`` (Figure 5a) and a per-row fetch cost
+  proportional to the number of options ``m`` (Figure 5b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CryptoCosts:
+    """CPU cost (milliseconds) of the cryptographic operations on a VC node."""
+
+    sign_ms: float = 0.15
+    verify_ms: float = 0.20
+    hash_ms: float = 0.002
+    share_verify_ms: float = 0.20
+    share_reconstruct_ms: float = 0.05
+    request_overhead_ms: float = 0.10
+
+
+@dataclass(frozen=True)
+class DatabaseCosts:
+    """Cost of the PostgreSQL-backed ballot storage used in Figures 5a-5c.
+
+    ``lookup_ms(n)`` models locating a ballot among ``n`` (index traversal +
+    buffer-cache misses; grows slowly with ``n``).  ``row_disk_ms`` is the
+    additional disk time per ballot line fetched and ``row_cpu_ms`` the CPU
+    time to deserialize and hash-check it; both grow the per-vote cost mildly
+    and linearly in the number of options ``m`` (the only ``m`` effect the
+    paper reports for Figure 5b).
+    """
+
+    base_lookup_ms: float = 4.0
+    scale_exponent: float = 0.40
+    reference_ballots: float = 1e6
+    row_disk_ms: float = 0.05
+    row_cpu_ms: float = 0.10
+
+    def lookup_ms(self, num_ballots: int) -> float:
+        """Per-vote ballot lookup cost for an electorate of ``num_ballots``."""
+        if num_ballots <= 0:
+            raise ValueError("electorate size must be positive")
+        scale = (num_ballots / self.reference_ballots) ** self.scale_exponent
+        return self.base_lookup_ms * max(scale, 0.05)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The physical machines hosting the VC nodes (the paper used 4)."""
+
+    num_machines: int = 4
+    cores_per_machine: int = 6
+
+    def machine_of(self, vc_index: int) -> int:
+        """Round-robin placement of logical VC nodes onto physical machines."""
+        return vc_index % self.num_machines
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_machines * self.cores_per_machine
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """One-way latency (ms) of the three kinds of links in the testbed."""
+
+    client_to_vc_ms: float = 0.25
+    inter_vc_ms: float = 0.25
+    name: str = "lan"
+
+    @classmethod
+    def lan(cls) -> "NetworkProfile":
+        """Gigabit-Ethernet cluster (sub-millisecond hops)."""
+        return cls(client_to_vc_ms=0.25, inter_vc_ms=0.25, name="lan")
+
+    @classmethod
+    def wan(cls) -> "NetworkProfile":
+        """netem-emulated WAN: 25 ms between VC nodes (clients stay local)."""
+        return cls(client_to_vc_ms=0.25, inter_vc_ms=25.0, name="wan")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Everything the load simulator needs to cost one vote."""
+
+    crypto: CryptoCosts = field(default_factory=CryptoCosts)
+    machines: MachineSpec = field(default_factory=MachineSpec)
+    network: NetworkProfile = field(default_factory=NetworkProfile.lan)
+    database: Optional[DatabaseCosts] = None
+    num_ballots: int = 200_000
+    num_options: int = 4
+
+    # -- per-stage CPU / disk work (all in milliseconds) ------------------------------
+
+    def ballot_access_disk_ms(self) -> float:
+        """Disk time of one ballot access (0 when election data is cached in memory)."""
+        if self.database is None:
+            return 0.0
+        return (
+            self.database.lookup_ms(self.num_ballots)
+            + self.database.row_disk_ms * self.num_options
+        )
+
+    def _ballot_access_cpu_ms(self) -> float:
+        """CPU time of locating the ballot and scanning its hashed vote codes."""
+        lookup = self.crypto.request_overhead_ms
+        if self.database is None:
+            # In-memory cache: only a dictionary lookup plus hashing.
+            lookup += 0.02 * math.log2(max(self.num_ballots, 2))
+        else:
+            lookup += self.database.row_cpu_ms * self.num_options
+        # On average half of the 2m hashed codes are scanned before a match.
+        lookup += self.crypto.hash_ms * self.num_options
+        return lookup
+
+    def _ballot_access_ms(self) -> float:
+        """Total (CPU + disk) cost of one ballot access."""
+        return self._ballot_access_cpu_ms() + self.ballot_access_disk_ms()
+
+    def responder_initial_ms(self) -> float:
+        """Stage 1: the responder validates the VOTE message (CPU part)."""
+        return self._ballot_access_cpu_ms()
+
+    def helper_endorse_ms(self) -> float:
+        """Stage 2 (per helper): validate the ENDORSE and sign an ENDORSEMENT (CPU part)."""
+        return self._ballot_access_cpu_ms() + self.crypto.sign_ms
+
+    def responder_certificate_ms(self, num_vc: int) -> float:
+        """Stage 3: verify up to Nv-1 endorsements and assemble the UCERT."""
+        return (num_vc - 1) * self.crypto.verify_ms + self.crypto.request_overhead_ms
+
+    def helper_vote_pending_ms(self, num_vc: int) -> float:
+        """Stage 4 (per helper): verify the UCERT and the responder's share, sign own VOTE_P."""
+        quorum = num_vc - (num_vc - 1) // 3
+        return (
+            quorum * self.crypto.verify_ms
+            + self.crypto.share_verify_ms
+            + self.crypto.sign_ms
+        )
+
+    def responder_reconstruct_ms(self, num_vc: int) -> float:
+        """Stage 5: verify the quorum of shares and reconstruct the receipt."""
+        quorum = num_vc - (num_vc - 1) // 3
+        return quorum * self.crypto.share_verify_ms + self.crypto.share_reconstruct_ms
+
+    def helper_background_ms(self, num_vc: int) -> float:
+        """Off-critical-path work each helper still performs (its own reconstruction)."""
+        quorum = num_vc - (num_vc - 1) // 3
+        return quorum * self.crypto.share_verify_ms + self.crypto.share_reconstruct_ms
+
+    def per_vote_cpu_ms(self, num_vc: int) -> float:
+        """Aggregate CPU demand of one vote across the whole VC subsystem."""
+        helpers = num_vc - 1
+        return (
+            self.responder_initial_ms()
+            + helpers * self.helper_endorse_ms()
+            + self.responder_certificate_ms(num_vc)
+            + helpers * self.helper_vote_pending_ms(num_vc)
+            + self.responder_reconstruct_ms(num_vc)
+            + helpers * self.helper_background_ms(num_vc)
+        )
+
+    def per_vote_disk_ms(self, num_vc: int) -> float:
+        """Aggregate disk demand of one vote (every VC node accesses the ballot once)."""
+        return num_vc * self.ballot_access_disk_ms()
+
+    # -- analytic estimates (used as cross-checks and by the phase model) ------------
+
+    def saturated_throughput_estimate(self, num_vc: int) -> float:
+        """Upper-bound throughput (votes/s) when the bottleneck resource is saturated.
+
+        The bottleneck is either the pooled CPU cores or, for database-backed
+        deployments, the (one-per-machine) disks.
+        """
+        cpu_limit = self.machines.total_cores / (self.per_vote_cpu_ms(num_vc) / 1000.0)
+        disk_ms = self.per_vote_disk_ms(num_vc)
+        if disk_ms <= 0:
+            return cpu_limit
+        # One disk per machine; a vote consumes ``disk_ms`` of disk time in total.
+        disk_limit = self.machines.num_machines * 1000.0 / disk_ms
+        return min(cpu_limit, disk_limit)
+
+    def unloaded_latency_estimate_ms(self, num_vc: int) -> float:
+        """Response time of a single vote on an idle system."""
+        hops = 2 * self.network.client_to_vc_ms + 4 * self.network.inter_vc_ms
+        return (
+            hops
+            + self.responder_initial_ms()
+            + self.helper_endorse_ms()
+            + self.responder_certificate_ms(num_vc)
+            + self.helper_vote_pending_ms(num_vc)
+            + self.responder_reconstruct_ms(num_vc)
+        )

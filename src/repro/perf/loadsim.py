@@ -1,0 +1,309 @@
+"""Closed-loop discrete-event simulation of the vote-collection protocol.
+
+This is the engine behind the reproduction of Figures 4a-4f, 5a and 5b.  It
+mirrors the paper's measurement methodology:
+
+* ``cc`` closed-loop clients: each client submits a vote to a randomly chosen
+  VC node, waits for the receipt, then immediately submits its next vote
+  (think time zero) -- exactly like the paper's multi-threaded voting client;
+* the logical VC nodes are placed round-robin on the physical machines of the
+  testbed (4 machines in the paper), and every machine is a multi-core FIFO
+  server: protocol stages consume CPU there according to the cost model;
+* a vote follows the critical path of Algorithm 1: responder validation ->
+  ENDORSE round (waits for the ``Nv - fv`` quorum) -> UCERT assembly ->
+  VOTE_P round (again a quorum) -> receipt reconstruction -> reply; helper
+  nodes additionally perform off-critical-path work that consumes capacity.
+
+The simulator reports sustained throughput and the response-time distribution
+over a measurement window after warm-up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.perf.costmodel import CostModel
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-simulation run."""
+
+    num_vc: int
+    num_clients: int
+    votes_completed: int
+    duration_s: float
+    throughput_ops: float
+    mean_latency_s: float
+    median_latency_s: float
+    p95_latency_s: float
+    network_name: str
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary (one figure data point)."""
+        return {
+            "num_vc": self.num_vc,
+            "num_clients": self.num_clients,
+            "throughput_ops": round(self.throughput_ops, 2),
+            "mean_latency_s": round(self.mean_latency_s, 4),
+            "p95_latency_s": round(self.p95_latency_s, 4),
+        }
+
+
+class _MachineQueue:
+    """A physical machine: ``cores`` identical servers with a shared FIFO queue."""
+
+    def __init__(self, cores: int):
+        self.cores = cores
+        self.busy = 0
+        self.queue: List[Tuple[float, Callable[[float], None]]] = []
+        self.busy_time = 0.0
+
+    def submit(self, now: float, service_ms: float, completion: Callable[[float], None],
+               engine: "_Engine") -> None:
+        """Submit a job; ``completion(finish_time)`` runs when it finishes."""
+        self.queue.append((service_ms, completion))
+        self._dispatch(now, engine)
+
+    def _dispatch(self, now: float, engine: "_Engine") -> None:
+        while self.busy < self.cores and self.queue:
+            service_ms, completion = self.queue.pop(0)
+            self.busy += 1
+            self.busy_time += service_ms
+            finish = now + service_ms / 1000.0
+
+            def done(at: float, completion=completion) -> None:
+                self.busy -= 1
+                completion(at)
+                self._dispatch(at, engine)
+
+            engine.schedule(finish, done)
+
+
+class _Engine:
+    """Minimal event loop for the load simulator."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, when: float, action: Callable[[float], None]) -> None:
+        heapq.heappush(self._queue, (when, next(self._seq), action))
+
+    def schedule_in(self, delay_s: float, action: Callable[[float], None]) -> None:
+        self.schedule(self.now + delay_s, action)
+
+    def run(self, should_stop: Callable[[], bool]) -> None:
+        while self._queue and not should_stop():
+            when, _, action = heapq.heappop(self._queue)
+            self.now = when
+            action(when)
+
+
+class VoteCollectionLoadSimulator:
+    """Simulate ``cc`` concurrent clients voting against ``Nv`` VC nodes."""
+
+    def __init__(
+        self,
+        num_vc: int,
+        num_clients: int,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 1,
+    ):
+        if num_vc < 4:
+            raise ValueError("the protocol requires at least 4 VC nodes")
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        self.num_vc = num_vc
+        self.num_clients = num_clients
+        self.model = cost_model or CostModel()
+        self.rng = random.Random(seed)
+        self.quorum = num_vc - (num_vc - 1) // 3
+
+    # -- main entry point -----------------------------------------------------------
+
+    def run(
+        self,
+        target_votes: Optional[int] = None,
+        warmup_votes: Optional[int] = None,
+    ) -> LoadResult:
+        """Run until ``target_votes`` measured votes complete (after warm-up)."""
+        if target_votes is None:
+            target_votes = max(2_000, 2 * self.num_clients)
+        if warmup_votes is None:
+            warmup_votes = max(200, self.num_clients // 2)
+
+        engine = _Engine()
+        num_machines = min(self.model.machines.num_machines, self.num_vc)
+        machines = [
+            _MachineQueue(self.model.machines.cores_per_machine) for _ in range(num_machines)
+        ]
+        # One disk per machine (PostgreSQL-backed experiments); a single server
+        # each, which is what makes the database the bottleneck in Figures 5a-5c.
+        disks = [_MachineQueue(1) for _ in range(num_machines)]
+        disk_access_ms = self.model.ballot_access_disk_ms()
+
+        completed: List[float] = []          # latencies of measured votes
+        state = {"completed": 0, "measure_start": None, "measure_end": None}
+        total_needed = warmup_votes + target_votes
+
+        def machine_for(vc_index: int) -> _MachineQueue:
+            return machines[vc_index % len(machines)]
+
+        def disk_for(vc_index: int) -> _MachineQueue:
+            return disks[vc_index % len(disks)]
+
+        def submit_with_disk(vc_index: int, at: float, cpu_ms: float,
+                             completion: Callable[[float], None]) -> None:
+            """Run the ballot's disk access (if any) before the CPU work."""
+            if disk_access_ms <= 0:
+                machine_for(vc_index).submit(at, cpu_ms, completion, engine)
+                return
+
+            def after_disk(t: float) -> None:
+                machine_for(vc_index).submit(t, cpu_ms, completion, engine)
+
+            disk_for(vc_index).submit(at, disk_access_ms, after_disk, engine)
+
+        inter_vc_s = self.model.network.inter_vc_ms / 1000.0
+        client_hop_s = self.model.network.client_to_vc_ms / 1000.0
+
+        def start_vote(client_id: int, at: float) -> None:
+            responder = self.rng.randrange(self.num_vc)
+            begin = at
+
+            # Stage 1: request travels to the responder and is validated there.
+            def after_request_hop(t: float) -> None:
+                submit_with_disk(
+                    responder, t, self.model.responder_initial_ms(), after_initial
+                )
+
+            def after_initial(t: float) -> None:
+                # Stage 2: ENDORSE round; we need the (quorum-1)-th helper reply.
+                helper_done_times: List[float] = []
+                pending = {"count": 0}
+
+                def helper_finished(ht: float) -> None:
+                    helper_done_times.append(ht)
+                    pending["count"] += 1
+                    if pending["count"] == self.quorum - 1:
+                        reply_at = ht + inter_vc_s
+                        engine.schedule(reply_at, after_endorsements)
+
+                for helper in range(self.num_vc):
+                    if helper == responder:
+                        continue
+                    arrival = t + inter_vc_s
+
+                    def submit_helper(ht: float, helper=helper) -> None:
+                        submit_with_disk(
+                            helper, ht, self.model.helper_endorse_ms(), helper_finished
+                        )
+
+                    engine.schedule(arrival, submit_helper)
+
+            def after_endorsements(t: float) -> None:
+                # Stage 3: the responder verifies the endorsements, builds the UCERT.
+                machine_for(responder).submit(
+                    t, self.model.responder_certificate_ms(self.num_vc), after_ucert, engine
+                )
+
+            def after_ucert(t: float) -> None:
+                # Stage 4: VOTE_P round; again wait for the quorum of helpers.
+                pending = {"count": 0}
+
+                def helper_finished(ht: float) -> None:
+                    pending["count"] += 1
+                    if pending["count"] == self.quorum - 1:
+                        engine.schedule(ht + inter_vc_s, after_shares)
+
+                for helper in range(self.num_vc):
+                    if helper == responder:
+                        continue
+                    arrival = t + inter_vc_s
+
+                    def submit_helper(ht: float, helper=helper) -> None:
+                        machine_for(helper).submit(
+                            ht, self.model.helper_vote_pending_ms(self.num_vc),
+                            helper_finished, engine,
+                        )
+                        # Off-critical-path reconstruction work on the helper.
+                        machine_for(helper).submit(
+                            ht, self.model.helper_background_ms(self.num_vc),
+                            lambda _t: None, engine,
+                        )
+
+                    engine.schedule(arrival, submit_helper)
+
+            def after_shares(t: float) -> None:
+                # Stage 5: the responder reconstructs the receipt and replies.
+                machine_for(responder).submit(
+                    t, self.model.responder_reconstruct_ms(self.num_vc), after_reconstruct, engine
+                )
+
+            def after_reconstruct(t: float) -> None:
+                engine.schedule(t + client_hop_s, vote_finished)
+
+            def vote_finished(t: float) -> None:
+                state["completed"] += 1
+                if state["completed"] == warmup_votes:
+                    state["measure_start"] = t
+                elif state["completed"] > warmup_votes:
+                    completed.append(t - begin)
+                    if state["completed"] == total_needed:
+                        state["measure_end"] = t
+                # Closed loop: the client immediately votes again.
+                if state["completed"] < total_needed:
+                    engine.schedule(t, lambda t2: start_vote(client_id, t2))
+
+            engine.schedule(begin + client_hop_s, after_request_hop)
+
+        # Clients start within the first simulated 100 ms, like the paper's
+        # client threads released by a common start signal.
+        for client in range(self.num_clients):
+            engine.schedule(self.rng.uniform(0.0, 0.1), lambda t, c=client: start_vote(c, t))
+
+        engine.run(lambda: state["measure_end"] is not None)
+
+        measure_start = state["measure_start"] if state["measure_start"] is not None else 0.0
+        measure_end = state["measure_end"] if state["measure_end"] is not None else engine.now
+        duration = max(measure_end - measure_start, 1e-9)
+        latencies = completed or [0.0]
+        return LoadResult(
+            num_vc=self.num_vc,
+            num_clients=self.num_clients,
+            votes_completed=len(completed),
+            duration_s=duration,
+            throughput_ops=len(completed) / duration,
+            mean_latency_s=statistics.fmean(latencies),
+            median_latency_s=statistics.median(latencies),
+            p95_latency_s=sorted(latencies)[int(0.95 * (len(latencies) - 1))],
+            network_name=self.model.network.name,
+        )
+
+
+def sweep_vc_counts(
+    vc_counts,
+    client_counts,
+    cost_model_factory: Callable[[], CostModel],
+    target_votes: Optional[int] = None,
+    seed: int = 1,
+) -> List[LoadResult]:
+    """Run the simulator over a grid of (#VC, #clients) configurations."""
+    results = []
+    for num_vc in vc_counts:
+        for num_clients in client_counts:
+            simulator = VoteCollectionLoadSimulator(
+                num_vc=num_vc,
+                num_clients=num_clients,
+                cost_model=cost_model_factory(),
+                seed=seed,
+            )
+            results.append(simulator.run(target_votes=target_votes))
+    return results

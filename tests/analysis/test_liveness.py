@@ -1,0 +1,91 @@
+"""Tests for the liveness analysis (Theorem 1 / Table I)."""
+
+import pytest
+
+from repro.analysis.liveness import (
+    failed_attempt_probability,
+    liveness_table,
+    receipt_deadline_guaranteed,
+    receipt_probability_lower_bound,
+    table_as_rows,
+    twait,
+)
+
+
+class TestTwait:
+    def test_formula_matches_paper(self):
+        """Twait = (2Nv + 4) Tcomp + 12 Delta + 6 delta."""
+        assert twait(4, 1.0, 1.0, 1.0) == (2 * 4 + 4) + 12 + 6
+        assert twait(16, 0.5, 2.0, 3.0) == 36 * 0.5 + 12 * 2.0 + 6 * 3.0
+
+    def test_twait_grows_with_every_parameter(self):
+        base = twait(4, 1.0, 1.0, 1.0)
+        assert twait(7, 1.0, 1.0, 1.0) > base
+        assert twait(4, 2.0, 1.0, 1.0) > base
+        assert twait(4, 1.0, 2.0, 1.0) > base
+        assert twait(4, 1.0, 1.0, 2.0) > base
+
+    def test_invalid_vc_count(self):
+        with pytest.raises(ValueError):
+            twait(0, 1, 1, 1)
+
+
+class TestTable:
+    def test_table_has_fifteen_steps(self):
+        assert len(liveness_table()) == 15
+
+    def test_final_voter_clock_equals_twait(self):
+        """The last row's Clock[V] bound is exactly T + Twait."""
+        for num_vc in (4, 7, 16):
+            last = liveness_table()[-1]
+            assert last.voter_clock.evaluate(num_vc, 1.0, 1.0, 1.0) == pytest.approx(
+                twait(num_vc, 1.0, 1.0, 1.0)
+            )
+
+    def test_bounds_are_monotone_down_the_table(self):
+        """Each step's global-clock bound is at least the previous step's."""
+        rows = table_as_rows(7, tcomp=0.01, drift_bound=0.1, delay_bound=0.05)
+        globals_ = [row["global_clock"] for row in rows]
+        assert globals_ == sorted(globals_)
+
+    def test_formula_rendering(self):
+        last = liveness_table()[-1]
+        assert last.voter_clock.formula() == "T + (2Nv+4)Tcomp + 12D + 6d"
+        assert last.voter_clock.formula(num_vc=4) == "T + 12Tcomp + 12D + 6d"
+
+    def test_numeric_rows_contain_all_columns(self):
+        rows = table_as_rows(4, 0.01, 0.1, 0.05)
+        assert set(rows[0]) == {
+            "step", "global_clock", "voter_clock", "responder_clock", "honest_vc_clocks",
+        }
+
+
+class TestReceiptProbability:
+    def test_guaranteed_deadline(self):
+        """Condition 1: engaged by Tend - (fv+1) Twait => receipt guaranteed."""
+        deadline = receipt_deadline_guaranteed(4, 1.0, 1.0, 1.0, election_end=1_000.0)
+        assert deadline == 1_000.0 - 2 * twait(4, 1.0, 1.0, 1.0)
+
+    def test_probability_bound_monotone(self):
+        bounds = [receipt_probability_lower_bound(y) for y in range(5)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] == 0.0
+        assert bounds[1] == pytest.approx(1 - 1 / 3)
+
+    def test_probability_bound_rejects_negative(self):
+        with pytest.raises(ValueError):
+            receipt_probability_lower_bound(-1)
+
+    def test_failed_attempt_probability_below_three_power(self):
+        """The exact product is below the 3^-y bound used in the proof."""
+        for num_vc, fv in ((4, 1), (7, 2), (16, 5)):
+            for attempts in range(1, fv + 1):
+                exact = failed_attempt_probability(num_vc, fv, attempts)
+                assert exact < 3.0 ** (-attempts)
+
+    def test_failed_attempts_zero_when_exceeding_faulty(self):
+        assert failed_attempt_probability(4, 1, 2) == 0.0
+
+    def test_failed_attempt_rejects_impossible_config(self):
+        with pytest.raises(ValueError):
+            failed_attempt_probability(4, 5, 1)

@@ -1,0 +1,92 @@
+"""Tests for the safety / verifiability / privacy bounds (Theorems 2-4)."""
+
+import pytest
+
+from repro.analysis.verification import (
+    e2e_verifiability_error,
+    fraud_undetected_probability,
+    minimum_bb_nodes,
+    minimum_vc_nodes,
+    privacy_adversary_work_bound,
+    safety_failure_probability,
+    safety_failure_probability_union,
+)
+
+
+class TestSafety:
+    def test_single_voter_bound_is_tiny(self):
+        assert safety_failure_probability(1) < 1e-18
+        assert safety_failure_probability(5) < 1e-17
+
+    def test_bound_grows_with_faulty_nodes(self):
+        assert safety_failure_probability(5) > safety_failure_probability(1)
+
+    def test_zero_faulty_nodes_means_zero_probability(self):
+        assert safety_failure_probability(0) == 0.0
+
+    def test_union_bound_scales_with_voters(self):
+        single = safety_failure_probability(2)
+        union = safety_failure_probability_union(1_000_000, 2)
+        assert union == pytest.approx(1_000_000 * single)
+
+    def test_union_bound_capped_at_one(self):
+        assert safety_failure_probability_union(10 ** 30, 5, receipt_bits=8) == 1.0
+
+    def test_national_scale_deployment_is_still_safe(self):
+        """235 million voters, 5 faulty VC nodes: still astronomically safe."""
+        assert safety_failure_probability_union(235_000_000, 5) < 1e-9
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            safety_failure_probability(-1)
+        with pytest.raises(ValueError):
+            safety_failure_probability_union(-1, 1)
+
+
+class TestVerifiability:
+    def test_error_formula(self):
+        assert e2e_verifiability_error(10, 5) == pytest.approx(2 ** -10 + 2 ** -5)
+
+    def test_error_shrinks_with_more_auditing_voters(self):
+        assert e2e_verifiability_error(20, 10) < e2e_verifiability_error(5, 10)
+
+    def test_error_shrinks_with_larger_deviation(self):
+        assert e2e_verifiability_error(10, 20) < e2e_verifiability_error(10, 5)
+
+    def test_error_capped_at_one(self):
+        assert e2e_verifiability_error(0, 0) == 1.0
+
+    def test_fraud_undetected_matches_paper_example(self):
+        assert fraud_undetected_probability(10) == pytest.approx(0.0009765625)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            e2e_verifiability_error(-1, 1)
+        with pytest.raises(ValueError):
+            fraud_undetected_probability(-1)
+
+
+class TestPrivacyAndThresholds:
+    def test_privacy_work_bound_grows_with_corruption(self):
+        assert privacy_adversary_work_bound(64, 1000, 5) > privacy_adversary_work_bound(8, 1000, 5)
+
+    def test_privacy_work_bound_is_polynomial_for_small_phi(self):
+        # For phi = 40 corrupted voters, 1M voters and 5 options the reduction
+        # runs in well under 2^200 steps, far below a 256-bit hardness level.
+        assert privacy_adversary_work_bound(40, 1_000_000, 5) < 256
+
+    def test_privacy_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            privacy_adversary_work_bound(-1, 10, 2)
+
+    def test_minimum_subsystem_sizes(self):
+        assert minimum_vc_nodes(1) == 4
+        assert minimum_vc_nodes(5) == 16
+        assert minimum_bb_nodes(1) == 3
+        assert minimum_bb_nodes(3) == 7
+
+    def test_minimum_sizes_reject_negative(self):
+        with pytest.raises(ValueError):
+            minimum_vc_nodes(-1)
+        with pytest.raises(ValueError):
+            minimum_bb_nodes(-1)

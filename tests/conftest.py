@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Expensive artifacts (the group, a full EA setup, a complete election run) are
+session-scoped so the many tests that only *read* them do not pay the setup
+cost repeatedly.  Tests that mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordinator import ElectionCoordinator
+from repro.core.election import ElectionParameters
+from repro.crypto.elgamal import LiftedElGamal
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.utils import RandomSource
+
+
+@pytest.fixture(scope="session")
+def group():
+    """The default (fast) Schnorr group backend."""
+    return SchnorrGroup()
+
+
+@pytest.fixture(scope="session")
+def elgamal_keys(group):
+    """A commitment key pair shared by crypto tests."""
+    return LiftedElGamal(group).keygen(RandomSource(1))
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic randomness source per test."""
+    return RandomSource(42)
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """A small but fully fault-tolerant election: 4 VC, 3 BB, 3 trustees."""
+    return ElectionParameters.small_test_election(
+        num_voters=4, num_options=2, num_vc=4, num_bb=3, num_trustees=3,
+        trustee_threshold=2, election_end=200.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_outcome(small_params):
+    """One complete, honest election run shared by read-only integration tests."""
+    coordinator = ElectionCoordinator(small_params, seed=5)
+    choices = ["option-1", "option-2", "option-1", "option-1"]
+    return coordinator.run_election(choices)
+
+
+@pytest.fixture(scope="session")
+def small_setup(small_outcome):
+    """The EA setup of the shared election run."""
+    return small_outcome.setup

@@ -1,0 +1,137 @@
+"""End-to-end integration tests for complete election runs."""
+
+import pytest
+
+from repro.core.ballot import PART_A, PART_B
+from repro.core.coordinator import ElectionCoordinator
+from repro.core.election import ElectionParameters
+
+
+class TestHonestElection:
+    """Read-only checks against the shared honest election run."""
+
+    def test_every_voter_gets_valid_receipt(self, small_outcome):
+        assert small_outcome.receipts_obtained == len(small_outcome.voters)
+        assert small_outcome.all_receipts_valid
+
+    def test_tally_matches_intended_choices(self, small_outcome):
+        assert small_outcome.tally is not None
+        assert small_outcome.tally.as_dict() == small_outcome.expected_tally().as_dict()
+
+    def test_audit_passes(self, small_outcome):
+        assert small_outcome.audit_report is not None
+        assert small_outcome.audit_report.passed
+
+    def test_all_bb_nodes_publish_identical_tally(self, small_outcome):
+        tallies = {repr(bb.result.tally) for bb in small_outcome.bb_nodes}
+        assert len(tallies) == 1
+
+    def test_all_vc_nodes_agree_on_vote_set(self, small_outcome):
+        vote_sets = {vc.final_vote_set for vc in small_outcome.vote_collectors}
+        assert len(vote_sets) == 1
+        assert len(next(iter(vote_sets))) == len(small_outcome.voters)
+
+    def test_cast_vote_codes_published_on_bb(self, small_outcome):
+        published = set(small_outcome.bb_nodes[0].accepted_vote_set)
+        for voter in small_outcome.voters:
+            assert (voter.ballot.serial, voter.vote_code) in published
+
+    def test_network_statistics_recorded(self, small_outcome):
+        assert small_outcome.network.messages_sent > 0
+        assert small_outcome.network.messages_delivered > 0
+
+
+class TestControlledPartChoices:
+    """A fresh run where every voter's A/B coin is pinned, exercising both
+    the all-A and mixed-coin paths of the challenge derivation."""
+
+    @pytest.fixture(scope="class")
+    def pinned_outcome(self):
+        params = ElectionParameters.small_test_election(
+            num_voters=3, num_options=2, election_end=200.0
+        )
+        coordinator = ElectionCoordinator(params, seed=23)
+        return coordinator.run_election(
+            ["option-2", "option-2", "option-1"],
+            voter_parts=[PART_A, PART_B, PART_A],
+        )
+
+    def test_tally_correct(self, pinned_outcome):
+        assert pinned_outcome.tally.as_dict() == {"option-1": 1, "option-2": 2}
+
+    def test_audit_passes(self, pinned_outcome):
+        assert pinned_outcome.audit_report.passed
+
+    def test_used_parts_match_choices(self, pinned_outcome):
+        locations = pinned_outcome.bb_nodes[0].cast_row_locations()
+        used_parts = [locations[v.ballot.serial][0] for v in pinned_outcome.voters]
+        assert used_parts == [PART_A, PART_B, PART_A]
+
+    def test_unused_parts_are_opened(self, pinned_outcome):
+        bb = pinned_outcome.bb_nodes[0]
+        for voter in pinned_outcome.voters:
+            assert (voter.ballot.serial, voter.unused_part_name) in bb.result.openings
+
+
+class TestAbstentions:
+    """An election where one voter never shows up."""
+
+    @pytest.fixture(scope="class")
+    def abstention_outcome(self):
+        params = ElectionParameters.small_test_election(
+            num_voters=3, num_options=2, election_end=200.0
+        )
+        coordinator = ElectionCoordinator(params, seed=31)
+        coordinator.run_setup()
+        coordinator.build_components(["option-1", "option-1", "option-2"])
+        # Remove the last voter's start: simply never schedule it.
+        abstainer = coordinator.voters.pop()
+        coordinator.run_voting_phase()
+        tally = coordinator.run_trustee_phase()
+        report = coordinator.run_audit()
+        from repro.core.coordinator import ElectionOutcome
+
+        return ElectionOutcome(
+            setup=coordinator.setup,
+            network=coordinator.network,
+            vote_collectors=coordinator.vote_collectors,
+            bb_nodes=coordinator.bb_nodes,
+            trustees=coordinator.trustees,
+            voters=coordinator.voters + [abstainer],
+            tally=tally,
+            audit_report=report,
+        )
+
+    def test_only_cast_votes_are_tallied(self, abstention_outcome):
+        assert abstention_outcome.tally.as_dict() == {"option-1": 2, "option-2": 0}
+
+    def test_abstainer_ballot_not_in_vote_set(self, abstention_outcome):
+        abstainer = abstention_outcome.voters[-1]
+        serials = {serial for serial, _ in abstention_outcome.bb_nodes[0].accepted_vote_set}
+        assert abstainer.ballot.serial not in serials
+
+    def test_abstainer_ballot_fully_opened(self, abstention_outcome):
+        abstainer = abstention_outcome.voters[-1]
+        bb = abstention_outcome.bb_nodes[0]
+        assert (abstainer.ballot.serial, PART_A) in bb.result.openings
+        assert (abstainer.ballot.serial, PART_B) in bb.result.openings
+
+    def test_audit_still_passes(self, abstention_outcome):
+        assert abstention_outcome.audit_report.passed
+
+
+class TestCoordinatorValidation:
+    def test_choice_count_must_match_voters(self):
+        params = ElectionParameters.small_test_election(num_voters=2, num_options=2)
+        coordinator = ElectionCoordinator(params, seed=1)
+        coordinator.run_setup()
+        with pytest.raises(ValueError):
+            coordinator.build_components(["option-1"])
+
+    def test_trustee_phase_without_votes_uploaded_returns_none(self):
+        params = ElectionParameters.small_test_election(num_voters=2, num_options=2)
+        coordinator = ElectionCoordinator(params, seed=1, include_proofs=False)
+        coordinator.run_setup()
+        coordinator.build_components(["option-1", "option-2"])
+        # Voting phase never ran: the BB has no vote set, trustees cannot work.
+        assert coordinator.run_trustee_phase() is None

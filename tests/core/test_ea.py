@@ -1,0 +1,177 @@
+"""Tests for the Election Authority setup."""
+
+import pytest
+
+from repro.core.ballot import PART_A, PART_B
+from repro.core.ea import ElectionAuthority, bb_node_id, trustee_id, vc_node_id, voter_id
+from repro.core.election import ElectionParameters
+from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
+from repro.crypto.pedersen_vss import PedersenVSS
+from repro.crypto.shamir import ShamirSecretSharing, SigningDealer
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import RandomSource
+from repro.crypto.zkp import BallotCorrectnessVerifier, fiat_shamir_challenge
+
+
+class TestIdentifiers:
+    def test_node_id_helpers(self):
+        assert vc_node_id(0) == "VC-0"
+        assert bb_node_id(2) == "BB-2"
+        assert trustee_id(1) == "T-1"
+        assert voter_id(3) == "voter-3"
+
+
+class TestSetupStructure:
+    def test_one_ballot_per_voter(self, small_setup, small_params):
+        assert len(small_setup.ballots) == small_params.num_voters
+
+    def test_serial_numbers_are_unique(self, small_setup):
+        serials = [ballot.serial for ballot in small_setup.ballots]
+        assert len(serials) == len(set(serials))
+
+    def test_serials_fit_in_64_bits(self, small_setup):
+        assert all(0 <= ballot.serial < 2 ** 64 for ballot in small_setup.ballots)
+
+    def test_vote_codes_unique_within_ballot(self, small_setup):
+        for ballot in small_setup.ballots:
+            codes = ballot.all_vote_codes()
+            assert len(codes) == len(set(codes))
+
+    def test_each_part_covers_every_option(self, small_setup, small_params):
+        for ballot in small_setup.ballots:
+            for part in ballot.parts:
+                assert [line.option for line in part.lines] == list(small_params.options)
+
+    def test_every_vc_node_has_init_data(self, small_setup, small_params):
+        assert set(small_setup.vc_init) == {
+            vc_node_id(i) for i in range(small_params.thresholds.num_vc)
+        }
+
+    def test_every_trustee_has_init_data(self, small_setup, small_params):
+        assert set(small_setup.trustee_init) == {
+            trustee_id(i) for i in range(small_params.thresholds.num_trustees)
+        }
+
+    def test_bb_init_covers_every_ballot(self, small_setup):
+        assert set(small_setup.bb_init.ballots) == {b.serial for b in small_setup.ballots}
+
+    def test_ballot_lookup_by_serial(self, small_setup):
+        ballot = small_setup.ballots[0]
+        assert small_setup.ballot_by_serial(ballot.serial) is ballot
+        with pytest.raises(KeyError):
+            small_setup.ballot_by_serial(-1)
+
+
+class TestSecretSharingConsistency:
+    def test_msk_shares_reconstruct_key_matching_bb_commitment(self, small_setup):
+        thresholds = small_setup.params.thresholds
+        sss = ShamirSecretSharing(thresholds.vc_honest_quorum, thresholds.num_vc)
+        shares = [init.msk_share.share for init in small_setup.vc_init.values()]
+        from repro.crypto.utils import int_to_bytes
+
+        msk = int_to_bytes(sss.reconstruct(shares), 16)
+        assert small_setup.bb_init.key_commitment.matches(msk)
+
+    def test_msk_shares_carry_valid_dealer_signatures(self, small_setup):
+        scheme = SignatureScheme()
+        for init in small_setup.vc_init.values():
+            assert SigningDealer.verify_share(
+                scheme, small_setup.bb_init.dealer_public_key, init.msk_share
+            )
+
+    def test_receipt_shares_reconstruct_printed_receipt(self, small_setup):
+        thresholds = small_setup.params.thresholds
+        sss = ShamirSecretSharing(thresholds.vc_honest_quorum, thresholds.num_vc)
+        ballot = small_setup.ballots[0]
+        permutation = small_setup.permutations[(ballot.serial, PART_A)]
+        row_index = 0
+        line = ballot.part_a.lines[permutation[row_index]]
+        shares = [
+            init.ballots[ballot.serial].rows[PART_A][row_index].receipt_share.share
+            for init in small_setup.vc_init.values()
+        ]
+        from repro.crypto.utils import int_to_bytes
+
+        assert int_to_bytes(sss.reconstruct(shares), 8) == line.receipt
+
+    def test_trustee_opening_shares_reconstruct_unit_vector(self, small_setup, group):
+        thresholds = small_setup.params.thresholds
+        pedersen = PedersenVSS(thresholds.trustee_threshold, thresholds.num_trustees, group)
+        scheme = OptionEncodingScheme(
+            small_setup.params.num_options, small_setup.commitment_public_key, group
+        )
+        ballot = small_setup.ballots[0]
+        permutation = small_setup.permutations[(ballot.serial, PART_B)]
+        row_index = 1
+        option_index = small_setup.params.option_index(
+            ballot.part_b.lines[permutation[row_index]].option
+        )
+        trustee_views = [
+            init.ballots[ballot.serial].rows[PART_B][row_index]
+            for init in small_setup.trustee_init.values()
+        ]
+        values = tuple(
+            pedersen.reconstruct([view.opening_value_shares[coord] for view in trustee_views])
+            for coord in range(small_setup.params.num_options)
+        )
+        randomness = tuple(
+            pedersen.reconstruct([view.opening_randomness_shares[coord] for view in trustee_views])
+            for coord in range(small_setup.params.num_options)
+        )
+        opening = CommitmentOpening(values, randomness)
+        assert scheme.verify_opening(trustee_views[0].commitment, opening)
+        assert list(values) == scheme.unit_vector(option_index)
+
+    def test_zk_first_moves_verify_with_reconstructed_state(self, small_setup, group):
+        """Reconstructing the shared ZK coefficients yields a valid proof."""
+        thresholds = small_setup.params.thresholds
+        zk_sss = ShamirSecretSharing(
+            thresholds.trustee_threshold, thresholds.num_trustees, prime=group.order
+        )
+        verifier = BallotCorrectnessVerifier(small_setup.commitment_public_key, group)
+        serial = small_setup.ballots[0].serial
+        bb_row = small_setup.bb_init.ballots[serial].rows[PART_A][0]
+        trustee_rows = [
+            init.ballots[serial].rows[PART_A][0] for init in small_setup.trustee_init.values()
+        ]
+        challenge = fiat_shamir_challenge(group, bb_row.commitment, bb_row.proof_announcement)
+        # Reconstruct each affine coefficient, evaluate at the challenge and
+        # assemble the response exactly like the BB does.
+        components = {}
+        grouped = {}
+        for name in trustee_rows[0].zk_state_shares:
+            component, kind = name.rsplit(":", 1)
+            grouped.setdefault(component, {})[kind] = [
+                row.zk_state_shares[name] for row in trustee_rows
+            ]
+        for component, kinds in grouped.items():
+            const = zk_sss.reconstruct(kinds["const"])
+            lin = zk_sss.reconstruct(kinds["lin"])
+            components[component] = (const + challenge * lin) % group.order
+        from repro.core.bulletin_board import BulletinBoardNode
+
+        response = BulletinBoardNode._assemble_proof_response(None, components)
+        assert verifier.verify(bb_row.commitment, bb_row.proof_announcement, challenge, response)
+
+
+class TestSetupOptions:
+    def test_setup_without_proofs_is_lighter(self, group):
+        params = ElectionParameters.small_test_election(num_voters=2, num_options=2)
+        setup = ElectionAuthority(
+            params, group=group, rng=RandomSource(3), include_proofs=False
+        ).setup()
+        serial = setup.ballots[0].serial
+        assert setup.bb_init.ballots[serial].rows[PART_A][0].proof_announcement is None
+
+    def test_setup_is_deterministic_with_seeded_rng(self, group):
+        params = ElectionParameters.small_test_election(num_voters=2, num_options=2)
+        first = ElectionAuthority(
+            params, group=group, rng=RandomSource(9), include_proofs=False,
+            include_trustee_data=False,
+        ).setup()
+        second = ElectionAuthority(
+            params, group=group, rng=RandomSource(9), include_proofs=False,
+            include_trustee_data=False,
+        ).setup()
+        assert [b.serial for b in first.ballots] == [b.serial for b in second.ballots]
+        assert first.ballots[0].part_a.lines == second.ballots[0].part_a.lines

@@ -1,0 +1,139 @@
+"""Tests for the trustee tabulation protocol."""
+
+import pytest
+
+from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
+from repro.core.trustee import BbElectionView, Trustee
+
+
+@pytest.fixture(scope="module")
+def bb_view(small_outcome, small_params):
+    return MajorityReader(small_outcome.bb_nodes, small_params).election_view()
+
+
+@pytest.fixture(scope="module")
+def submissions(small_outcome, small_params, bb_view):
+    return {
+        trustee.trustee_id: trustee.produce_submission(bb_view)
+        for trustee in small_outcome.trustees
+    }
+
+
+class TestSubmissions:
+    def test_every_trustee_produces_a_signed_submission(self, submissions, small_outcome, group):
+        from repro.crypto.signatures import SignatureScheme
+
+        scheme = SignatureScheme(group)
+        keys = small_outcome.setup.bb_init.trustee_public_keys
+        for trustee_id, submission in submissions.items():
+            assert submission.signature is not None
+            assert scheme.verify(keys[trustee_id], submission.digest(), submission.signature)
+
+    def test_all_trustees_derive_the_same_challenge(self, submissions):
+        challenges = {s.challenge for s in submissions.values()}
+        assert len(challenges) == 1
+
+    def test_used_parts_receive_proof_shares(self, submissions, small_outcome):
+        locations = small_outcome.bb_nodes[0].cast_row_locations()
+        for submission in submissions.values():
+            for serial, (part, _) in locations.items():
+                assert (serial, part) in submission.proof_shares
+                assert (serial, part) not in submission.opening_shares
+
+    def test_unused_parts_receive_opening_shares(self, submissions, small_outcome):
+        locations = small_outcome.bb_nodes[0].cast_row_locations()
+        for submission in submissions.values():
+            for serial, (part, _) in locations.items():
+                other = "B" if part == "A" else "A"
+                assert (serial, other) in submission.opening_shares
+
+    def test_unvoted_ballots_have_both_parts_opened(self, submissions, small_outcome):
+        voted = {serial for serial, _ in small_outcome.bb_nodes[0].accepted_vote_set}
+        unvoted = set(small_outcome.setup.bb_init.ballots) - voted
+        for submission in submissions.values():
+            for serial in unvoted:
+                assert (serial, "A") in submission.opening_shares
+                assert (serial, "B") in submission.opening_shares
+
+    def test_tally_shares_present_when_votes_were_cast(self, submissions, small_params):
+        for submission in submissions.values():
+            assert len(submission.tally_value_shares) == small_params.num_options
+            assert len(submission.tally_randomness_shares) == small_params.num_options
+
+    def test_digest_changes_with_content(self, submissions):
+        submission = next(iter(submissions.values()))
+        digest_before = submission.digest()
+        original = submission.challenge
+        submission.challenge = original + 1
+        assert submission.digest() != digest_before
+        submission.challenge = original
+
+    def test_nothing_submitted_twice_is_harmless(self, small_outcome, submissions):
+        """Feeding a duplicate submission does not change the published result."""
+        bb = small_outcome.bb_nodes[0]
+        tally_before = bb.result.tally
+        bb.receive_trustee_submission(next(iter(submissions.values())))
+        assert bb.result.tally == tally_before
+
+
+class TestInvalidBallotHandling:
+    def test_double_voted_ballot_is_discarded(self, small_outcome, small_params, group):
+        """A vote set listing two codes for one ballot makes the trustee discard it."""
+        bb = small_outcome.bb_nodes[0]
+        serial, code = bb.accepted_vote_set[0]
+        decrypted = bb.decrypted_vote_codes
+        other_code = next(
+            c for c in decrypted[serial]["A"] + decrypted[serial]["B"] if c != code
+        )
+        tampered_view = BbElectionView(
+            vote_set=bb.accepted_vote_set + ((serial, other_code),),
+            decrypted_vote_codes=decrypted,
+        )
+        trustee = small_outcome.trustees[0]
+        submission = trustee.produce_submission(tampered_view)
+        assert serial in submission.discarded
+
+    def test_unknown_code_is_discarded(self, small_outcome):
+        bb = small_outcome.bb_nodes[0]
+        serial = next(iter(small_outcome.setup.bb_init.ballots))
+        tampered_view = BbElectionView(
+            vote_set=((serial, b"\x00" * 20),),
+            decrypted_vote_codes=bb.decrypted_vote_codes,
+        )
+        submission = small_outcome.trustees[0].produce_submission(tampered_view)
+        assert serial in submission.discarded
+        assert submission.tally_value_shares == ()
+
+
+class TestThresholdBehaviour:
+    def test_result_available_with_exactly_threshold_trustees(
+        self, small_outcome, small_params, group, submissions
+    ):
+        bb = BulletinBoardNode("BB-fresh", small_outcome.setup.bb_init, small_params, group)
+        for vc in small_outcome.vote_collectors:
+            bb.receive_vote_set(vc.node_id, vc.final_vote_set)
+            bb.receive_msk_share(vc.node_id, vc.init.msk_share)
+        threshold = small_params.thresholds.trustee_threshold
+        for submission in list(submissions.values())[:threshold]:
+            bb.receive_trustee_submission(submission)
+        assert bb.result is not None
+        assert bb.result.tally.as_dict() == small_outcome.expected_tally().as_dict()
+
+    def test_no_result_below_threshold(self, small_outcome, small_params, group, submissions):
+        bb = BulletinBoardNode("BB-fresh2", small_outcome.setup.bb_init, small_params, group)
+        for vc in small_outcome.vote_collectors:
+            bb.receive_vote_set(vc.node_id, vc.final_vote_set)
+            bb.receive_msk_share(vc.node_id, vc.init.msk_share)
+        threshold = small_params.thresholds.trustee_threshold
+        for submission in list(submissions.values())[: threshold - 1]:
+            bb.receive_trustee_submission(submission)
+        assert bb.result is None
+
+    def test_unsigned_submission_rejected(self, small_outcome, small_params, group, submissions):
+        bb = BulletinBoardNode("BB-fresh3", small_outcome.setup.bb_init, small_params, group)
+        submission = next(iter(submissions.values()))
+        original_signature = submission.signature
+        submission.signature = None
+        bb.receive_trustee_submission(submission)
+        assert bb.trustee_submissions == {}
+        submission.signature = original_signature

@@ -1,0 +1,215 @@
+"""Protocol-level tests for the Vote Collector subsystem.
+
+These tests run only the VC nodes (plus lightweight probe voters) on the
+network simulator, so they can inspect the voting protocol and Vote Set
+Consensus without the full end-to-end machinery.
+"""
+
+import pytest
+
+from repro.core.ea import ElectionAuthority, vc_node_id
+from repro.core.election import ElectionParameters
+from repro.core.messages import VoteReceipt, VoteRejected, VoteRequest
+from repro.core.vote_collector import BallotStatus, VoteCollectorNode, endorsement_message
+from repro.crypto.utils import RandomSource
+from repro.net.adversary import NetworkConditions
+from repro.net.channels import ChannelKind, Message
+from repro.net.simulator import Network, SimNode
+
+
+class ProbeVoter(SimNode):
+    """A minimal voter that records receipts/rejections."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.receipts = []
+        self.rejections = []
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message.payload, VoteReceipt):
+            self.receipts.append(message.payload)
+        elif isinstance(message.payload, VoteRejected):
+            self.rejections.append(message.payload)
+
+    def cast(self, target, serial, vote_code):
+        self.send(target, VoteRequest(serial, vote_code, self.node_id),
+                  channel=ChannelKind.PUBLIC)
+
+
+@pytest.fixture(scope="module")
+def vc_setup(group):
+    """EA setup (no proofs/trustee data: the VC protocol does not need them)."""
+    params = ElectionParameters.small_test_election(
+        num_voters=3, num_options=2, election_end=500.0
+    )
+    authority = ElectionAuthority(
+        params, group=group, rng=RandomSource(21),
+        include_proofs=False, include_trustee_data=False,
+    )
+    return params, authority.setup()
+
+
+def build_vc_network(params, setup, seed=3):
+    network = Network(conditions=NetworkConditions(base_latency=0.001, jitter=0.001, seed=seed))
+    nodes = []
+    for index in range(params.thresholds.num_vc):
+        node = VoteCollectorNode(setup.vc_init[vc_node_id(index)], params)
+        nodes.append(node)
+        network.register(node)
+    voter = ProbeVoter("probe-voter")
+    network.register(voter)
+    return network, nodes, voter
+
+
+class TestVotingProtocol:
+    def test_valid_vote_yields_correct_receipt(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[0]
+        line = ballot.part_a.lines[0]
+        voter.cast("VC-0", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        assert len(voter.receipts) == 1
+        assert voter.receipts[0].receipt == line.receipt
+
+    def test_all_honest_nodes_mark_ballot_voted(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[0]
+        line = ballot.part_b.lines[1]
+        voter.cast("VC-1", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        for node in nodes:
+            record = node.ballots[ballot.serial]
+            assert record.status is BallotStatus.VOTED
+            assert record.used_vote_code == line.vote_code
+            assert record.receipt == line.receipt
+
+    def test_unknown_vote_code_is_rejected(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        voter.cast("VC-0", setup.ballots[0].serial, b"\x00" * 20)
+        network.run_until_idle()
+        assert voter.receipts == []
+        assert len(voter.rejections) == 1
+        assert voter.rejections[0].reason == "invalid vote code"
+
+    def test_unknown_serial_is_rejected(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        voter.cast("VC-0", 999_999, setup.ballots[0].part_a.lines[0].vote_code)
+        network.run_until_idle()
+        assert voter.rejections and voter.rejections[0].reason == "unknown ballot"
+
+    def test_revote_with_same_code_returns_same_receipt(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[1]
+        line = ballot.part_a.lines[0]
+        voter.cast("VC-0", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        voter.cast("VC-2", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        assert len(voter.receipts) == 2
+        assert voter.receipts[0].receipt == voter.receipts[1].receipt == line.receipt
+
+    def test_second_vote_code_for_same_ballot_is_rejected(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[2]
+        voter.cast("VC-0", ballot.serial, ballot.part_a.lines[0].vote_code)
+        network.run_until_idle()
+        voter.cast("VC-0", ballot.serial, ballot.part_a.lines[1].vote_code)
+        network.run_until_idle()
+        assert len(voter.receipts) == 1
+        assert any(r.reason == "ballot already used" for r in voter.rejections)
+
+    def test_vote_outside_election_hours_rejected(self, group):
+        params = ElectionParameters.small_test_election(
+            num_voters=1, num_options=2, election_end=0.5
+        )
+        setup = ElectionAuthority(
+            params, group=group, rng=RandomSource(5),
+            include_proofs=False, include_trustee_data=False,
+        ).setup()
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[0]
+        # Move simulated time past the election end before the vote arrives.
+        network.schedule_at(1.0, lambda: voter.cast("VC-0", ballot.serial,
+                                                    ballot.part_a.lines[0].vote_code))
+        network.run_until_idle()
+        assert voter.receipts == []
+        assert voter.rejections and voter.rejections[0].reason == "outside voting hours"
+
+    def test_endorsement_message_is_canonical(self):
+        assert endorsement_message(1, b"code") == endorsement_message(1, b"code")
+        assert endorsement_message(1, b"code") != endorsement_message(2, b"code")
+
+    def test_ucert_requires_quorum_of_valid_signatures(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[0]
+        line = ballot.part_a.lines[0]
+        voter.cast("VC-0", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        record = nodes[0].ballots[ballot.serial]
+        assert record.ucert is not None
+        assert nodes[0].verify_ucert(record.ucert)
+        assert len(record.ucert.endorsements) >= params.thresholds.vc_honest_quorum
+        # A certificate trimmed below the quorum no longer verifies.
+        from repro.core.messages import UniquenessCertificate
+
+        trimmed = UniquenessCertificate(
+            record.ucert.serial, record.ucert.vote_code, record.ucert.endorsements[:1]
+        )
+        assert not nodes[0].verify_ucert(trimmed)
+
+
+class TestVoteSetConsensus:
+    def test_voted_ballot_survives_into_final_vote_set(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        ballot = setup.ballots[0]
+        line = ballot.part_a.lines[1]
+        voter.cast("VC-3", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        for node in nodes:
+            node.end_election()
+        network.run_until_idle(max_events=2_000_000)
+        expected = ((ballot.serial, line.vote_code),)
+        for node in nodes:
+            assert node.final_vote_set == expected
+
+    def test_unvoted_ballots_are_excluded(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        for node in nodes:
+            node.end_election()
+        network.run_until_idle(max_events=2_000_000)
+        for node in nodes:
+            assert node.final_vote_set == ()
+
+    def test_all_nodes_agree_on_final_vote_set(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup, seed=17)
+        for index, ballot in enumerate(setup.ballots[:2]):
+            line = ballot.part_a.lines[index % 2]
+            voter.cast(vc_node_id(index), ballot.serial, line.vote_code)
+        network.run_until_idle()
+        for node in nodes:
+            node.end_election()
+        network.run_until_idle(max_events=2_000_000)
+        reference = nodes[0].final_vote_set
+        assert reference is not None and len(reference) == 2
+        assert all(node.final_vote_set == reference for node in nodes)
+
+    def test_voting_messages_ignored_after_election_end(self, vc_setup):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup)
+        for node in nodes:
+            node.end_election()
+        network.run_until_idle(max_events=2_000_000)
+        ballot = setup.ballots[0]
+        voter.cast("VC-0", ballot.serial, ballot.part_a.lines[0].vote_code)
+        network.run_until_idle(max_events=2_000_000)
+        assert voter.receipts == []

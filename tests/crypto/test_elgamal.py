@@ -1,0 +1,87 @@
+"""Tests for lifted ElGamal encryption."""
+
+import pytest
+
+from repro.crypto.elgamal import LiftedElGamal
+from repro.crypto.utils import RandomSource
+
+
+@pytest.fixture(scope="module")
+def elgamal(group):
+    return LiftedElGamal(group)
+
+
+@pytest.fixture(scope="module")
+def keys(elgamal):
+    return elgamal.keygen(RandomSource(3))
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip_zero(self, elgamal, keys):
+        assert elgamal.decrypt(keys, elgamal.encrypt(keys.public, 0)) == 0
+
+    def test_roundtrip_one(self, elgamal, keys):
+        assert elgamal.decrypt(keys, elgamal.encrypt(keys.public, 1)) == 1
+
+    def test_roundtrip_larger_message(self, elgamal, keys):
+        assert elgamal.decrypt(keys, elgamal.encrypt(keys.public, 137)) == 137
+
+    def test_decrypt_to_element_matches_lifted_message(self, elgamal, keys, group):
+        ciphertext = elgamal.encrypt(keys.public, 9)
+        assert elgamal.decrypt_to_element(keys, ciphertext) == group.generator() ** 9
+
+    def test_encryption_is_randomised(self, elgamal, keys):
+        first = elgamal.encrypt(keys.public, 5)
+        second = elgamal.encrypt(keys.public, 5)
+        assert first.a != second.a
+
+    def test_deterministic_with_fixed_randomness(self, elgamal, keys):
+        first = elgamal.encrypt(keys.public, 5, randomness=99)
+        second = elgamal.encrypt(keys.public, 5, randomness=99)
+        assert first.a == second.a and first.b == second.b
+
+    def test_discrete_log_out_of_bound_raises(self, elgamal, group):
+        with pytest.raises(ValueError):
+            elgamal.discrete_log(group.generator() ** 50, max_message=10)
+
+
+class TestHomomorphism:
+    def test_product_adds_plaintexts(self, elgamal, keys):
+        combined = elgamal.encrypt(keys.public, 3) * elgamal.encrypt(keys.public, 4)
+        assert elgamal.decrypt(keys, combined) == 7
+
+    def test_homomorphic_sum_of_many(self, elgamal, keys):
+        total = elgamal.encrypt(keys.public, 0)
+        for value in (1, 0, 1, 1, 0):
+            total = total * elgamal.encrypt(keys.public, value)
+        assert elgamal.decrypt(keys, total) == 3
+
+    def test_randomness_adds_in_product(self, elgamal, keys):
+        c1 = elgamal.encrypt(keys.public, 1, randomness=10)
+        c2 = elgamal.encrypt(keys.public, 2, randomness=20)
+        expected = elgamal.encrypt(keys.public, 3, randomness=30)
+        product = c1 * c2
+        assert product.a == expected.a and product.b == expected.b
+
+
+class TestOpenings:
+    def test_open_accepts_correct_opening(self, elgamal, keys):
+        ciphertext = elgamal.encrypt(keys.public, 1, randomness=42)
+        assert elgamal.open(keys.public, ciphertext, 1, 42)
+
+    def test_open_rejects_wrong_message(self, elgamal, keys):
+        ciphertext = elgamal.encrypt(keys.public, 1, randomness=42)
+        assert not elgamal.open(keys.public, ciphertext, 0, 42)
+
+    def test_open_rejects_wrong_randomness(self, elgamal, keys):
+        ciphertext = elgamal.encrypt(keys.public, 1, randomness=42)
+        assert not elgamal.open(keys.public, ciphertext, 1, 43)
+
+    def test_keygen_produces_matching_pair(self, elgamal, group):
+        keys = elgamal.keygen(RandomSource(8))
+        assert keys.public == group.generator() ** keys.secret
+
+    def test_serialize_ciphertext(self, elgamal, keys):
+        ciphertext = elgamal.encrypt(keys.public, 1)
+        data = ciphertext.serialize()
+        assert isinstance(data, bytes) and len(data) > 0

@@ -1,0 +1,114 @@
+"""Tests for the prime-order group backends."""
+
+import pytest
+
+from repro.crypto.group import EcGroup, SchnorrGroup, default_group
+
+
+@pytest.fixture(scope="module")
+def ec_group():
+    return EcGroup()
+
+
+class TestSchnorrGroup:
+    def test_generator_has_prime_order(self, group):
+        g = group.generator()
+        assert g ** group.order == group.identity()
+
+    def test_generator_is_not_identity(self, group):
+        assert group.generator() != group.identity()
+
+    def test_second_generator_differs_from_generator(self, group):
+        assert group.second_generator() != group.generator()
+
+    def test_second_generator_is_subgroup_member(self, group):
+        assert group.is_member(group.second_generator())
+
+    def test_multiplication_matches_exponent_addition(self, group):
+        g = group.generator()
+        assert (g ** 12) * (g ** 30) == g ** 42
+
+    def test_exponentiation_wraps_modulo_order(self, group):
+        g = group.generator()
+        assert g ** (group.order + 5) == g ** 5
+
+    def test_inverse_cancels(self, group):
+        element = group.generator() ** 77
+        assert element * element.inverse() == group.identity()
+
+    def test_division_operator(self, group):
+        g = group.generator()
+        assert (g ** 10) / (g ** 4) == g ** 6
+
+    def test_serialize_roundtrip(self, group):
+        element = group.generator() ** 12345
+        assert group.deserialize(element.serialize()) == element
+
+    def test_random_scalar_in_range(self, group, rng):
+        for _ in range(20):
+            scalar = group.random_scalar(rng)
+            assert 1 <= scalar < group.order
+
+    def test_hash_to_scalar_is_deterministic(self, group):
+        assert group.hash_to_scalar(b"x", b"y") == group.hash_to_scalar(b"x", b"y")
+
+    def test_hash_to_scalar_differs_for_different_input(self, group):
+        assert group.hash_to_scalar(b"x") != group.hash_to_scalar(b"y")
+
+    def test_identity_is_neutral(self, group):
+        element = group.generator() ** 9
+        assert element * group.identity() == element
+
+    def test_default_group_is_cached(self):
+        assert default_group() is default_group()
+
+
+class TestEcGroup:
+    def test_generator_on_curve(self, ec_group):
+        assert ec_group.is_on_curve(ec_group.generator())
+
+    def test_second_generator_on_curve(self, ec_group):
+        assert ec_group.is_on_curve(ec_group.second_generator())
+
+    def test_generator_has_prime_order(self, ec_group):
+        assert ec_group.generator() ** ec_group.order == ec_group.identity()
+
+    def test_point_addition_matches_scalar_multiplication(self, ec_group):
+        g = ec_group.generator()
+        assert (g ** 3) * (g ** 4) == g ** 7
+
+    def test_inverse_is_reflection(self, ec_group):
+        point = ec_group.generator() ** 11
+        assert point * point.inverse() == ec_group.identity()
+
+    def test_identity_is_infinity(self, ec_group):
+        assert ec_group.identity().is_infinity
+
+    def test_scalar_multiplication_distributes(self, ec_group):
+        g = ec_group.generator()
+        assert (g ** 5) ** 3 == g ** 15
+
+    def test_serialize_roundtrip(self, ec_group):
+        point = ec_group.generator() ** 99
+        assert ec_group.deserialize(point.serialize()) == point
+
+    def test_serialize_roundtrip_infinity(self, ec_group):
+        assert ec_group.deserialize(ec_group.identity().serialize()) == ec_group.identity()
+
+    def test_points_on_curve_after_arithmetic(self, ec_group):
+        g = ec_group.generator()
+        for k in (2, 17, 12345):
+            assert ec_group.is_on_curve(g ** k)
+
+
+class TestCrossBackend:
+    def test_same_protocol_code_runs_on_both_backends(self, ec_group, group):
+        # ElGamal-style computation expressed purely via the Group interface.
+        for backend in (group, ec_group):
+            g = backend.generator()
+            x = 1234567
+            y = g ** x
+            r = 7654321
+            a, b = g ** r, (g ** 5) * (y ** r)
+            recovered = b * (a ** x).inverse()
+            assert recovered == g ** 5

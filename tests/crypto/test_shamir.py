@@ -1,0 +1,120 @@
+"""Tests for Shamir secret sharing and the signing dealer."""
+
+import pytest
+
+from repro.crypto.shamir import Share, ShamirSecretSharing, SignedShare, SigningDealer
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import RandomSource
+
+
+class TestShamir:
+    def test_reconstruct_with_threshold_shares(self):
+        sss = ShamirSecretSharing(3, 5)
+        shares = sss.share(123456789, rng=RandomSource(1))
+        assert sss.reconstruct(shares[:3]) == 123456789
+
+    def test_reconstruct_with_any_subset(self):
+        sss = ShamirSecretSharing(3, 5)
+        shares = sss.share(42, rng=RandomSource(2))
+        assert sss.reconstruct([shares[0], shares[2], shares[4]]) == 42
+        assert sss.reconstruct([shares[4], shares[1], shares[3]]) == 42
+
+    def test_reconstruct_with_all_shares(self):
+        sss = ShamirSecretSharing(2, 4)
+        shares = sss.share(7, rng=RandomSource(3))
+        assert sss.reconstruct(shares) == 7
+
+    def test_too_few_shares_raises(self):
+        sss = ShamirSecretSharing(3, 5)
+        shares = sss.share(42, rng=RandomSource(4))
+        with pytest.raises(ValueError):
+            sss.reconstruct(shares[:2])
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        sss = ShamirSecretSharing(3, 5)
+        shares = sss.share(42, rng=RandomSource(5))
+        with pytest.raises(ValueError):
+            sss.reconstruct([shares[0], shares[0], shares[1]])
+
+    def test_threshold_one_is_constant_polynomial(self):
+        sss = ShamirSecretSharing(1, 3)
+        shares = sss.share(99, rng=RandomSource(6))
+        assert all(share.value == 99 for share in shares)
+
+    def test_shares_hide_secret_below_threshold(self):
+        """Two different secrets can produce the same single share value."""
+        sss = ShamirSecretSharing(2, 3)
+        # With threshold 2, one share alone is consistent with any secret:
+        # reconstructing from a single share must be refused.
+        shares = sss.share(1, rng=RandomSource(7))
+        with pytest.raises(ValueError):
+            sss.reconstruct([shares[0]])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShamirSecretSharing(0, 3)
+        with pytest.raises(ValueError):
+            ShamirSecretSharing(4, 3)
+        with pytest.raises(ValueError):
+            ShamirSecretSharing(2, 3, prime=3)
+
+    def test_large_secret_reduced_modulo_prime(self):
+        sss = ShamirSecretSharing(2, 3, prime=101)
+        shares = sss.share(1000, rng=RandomSource(8))
+        assert sss.reconstruct(shares[:2]) == 1000 % 101
+
+    def test_custom_prime_field(self):
+        sss = ShamirSecretSharing(2, 4, prime=2 ** 61 - 1)
+        shares = sss.share(123, rng=RandomSource(9))
+        assert sss.reconstruct(shares[1:3]) == 123
+
+
+class TestSigningDealer:
+    def test_deal_and_reconstruct(self):
+        dealer = SigningDealer(3, 4)
+        shares = dealer.deal(555, b"ctx", rng=RandomSource(1))
+        assert dealer.reconstruct(shares[:3]) == 555
+
+    def test_shares_carry_valid_signatures(self):
+        dealer = SigningDealer(2, 3)
+        scheme = SignatureScheme()
+        shares = dealer.deal(7, b"receipt|1|A|0", rng=RandomSource(2))
+        for share in shares:
+            assert SigningDealer.verify_share(scheme, dealer.public_key, share)
+
+    def test_tampered_share_fails_verification(self):
+        dealer = SigningDealer(2, 3)
+        scheme = SignatureScheme()
+        shares = dealer.deal(7, b"ctx", rng=RandomSource(3))
+        genuine = shares[0]
+        tampered = SignedShare(
+            Share(genuine.share.index, genuine.share.value + 1),
+            genuine.context,
+            genuine.signature,
+        )
+        assert not SigningDealer.verify_share(scheme, dealer.public_key, tampered)
+
+    def test_context_binding_prevents_share_reuse(self):
+        dealer = SigningDealer(2, 3)
+        scheme = SignatureScheme()
+        shares = dealer.deal(7, b"receipt|ballot-1", rng=RandomSource(4))
+        genuine = shares[0]
+        replayed = SignedShare(genuine.share, b"receipt|ballot-2", genuine.signature)
+        assert not SigningDealer.verify_share(scheme, dealer.public_key, replayed)
+
+    def test_reconstruct_ignores_invalid_shares(self):
+        dealer = SigningDealer(2, 4)
+        shares = dealer.deal(99, b"ctx", rng=RandomSource(5))
+        corrupted = SignedShare(
+            Share(shares[0].share.index, shares[0].share.value + 1),
+            shares[0].context,
+            shares[0].signature,
+        )
+        # Two valid shares remain in the list; reconstruction still succeeds.
+        assert dealer.reconstruct([corrupted, shares[1], shares[2]]) == 99
+
+    def test_signed_share_exposes_index_and_value(self):
+        dealer = SigningDealer(2, 3)
+        shares = dealer.deal(5, b"ctx", rng=RandomSource(6))
+        assert shares[0].index == shares[0].share.index
+        assert shares[0].value == shares[0].share.value

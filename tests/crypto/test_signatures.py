@@ -1,0 +1,67 @@
+"""Tests for Schnorr signatures."""
+
+import pytest
+
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import RandomSource
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return SignatureScheme(group)
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return scheme.keygen(RandomSource(11))
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, scheme, keys):
+        signature = scheme.sign(keys, b"hello world")
+        assert scheme.verify(keys.public, b"hello world", signature)
+
+    def test_verify_rejects_different_message(self, scheme, keys):
+        signature = scheme.sign(keys, b"hello")
+        assert not scheme.verify(keys.public, b"goodbye", signature)
+
+    def test_verify_rejects_wrong_key(self, scheme, keys):
+        other = scheme.keygen(RandomSource(12))
+        signature = scheme.sign(keys, b"msg")
+        assert not scheme.verify(other.public, b"msg", signature)
+
+    def test_verify_rejects_tampered_signature(self, scheme, keys):
+        signature = scheme.sign(keys, b"msg")
+        tampered = type(signature)(signature.challenge, signature.response + 1)
+        assert not scheme.verify(keys.public, b"msg", tampered)
+
+    def test_verify_rejects_tampered_challenge(self, scheme, keys):
+        signature = scheme.sign(keys, b"msg")
+        tampered = type(signature)(signature.challenge + 1, signature.response)
+        assert not scheme.verify(keys.public, b"msg", tampered)
+
+    def test_signing_empty_message(self, scheme, keys):
+        signature = scheme.sign(keys, b"")
+        assert scheme.verify(keys.public, b"", signature)
+
+    def test_signatures_are_randomised(self, scheme, keys):
+        first = scheme.sign(keys, b"msg")
+        second = scheme.sign(keys, b"msg")
+        assert first.challenge != second.challenge or first.response != second.response
+
+    def test_keygen_relationship(self, scheme, group):
+        keys = scheme.keygen(RandomSource(13))
+        assert keys.public == group.generator() ** keys.secret
+
+    def test_signature_serialization(self, scheme, keys):
+        signature = scheme.sign(keys, b"msg")
+        data = signature.serialize()
+        assert isinstance(data, bytes) and len(data) == 64
+
+    def test_cross_message_replay_fails(self, scheme, keys):
+        """A signature on one endorsement cannot be replayed for another."""
+        endorsement_a = b"endorse|" + (1).to_bytes(8, "big") + b"|code-a"
+        endorsement_b = b"endorse|" + (1).to_bytes(8, "big") + b"|code-b"
+        signature = scheme.sign(keys, endorsement_a)
+        assert scheme.verify(keys.public, endorsement_a, signature)
+        assert not scheme.verify(keys.public, endorsement_b, signature)

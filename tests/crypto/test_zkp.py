@@ -1,0 +1,130 @@
+"""Tests for the Chaum-Pedersen ballot-correctness proofs."""
+
+import pytest
+
+from repro.crypto.commitments import OptionEncodingScheme
+from repro.crypto.zkp import (
+    BallotCorrectnessProver,
+    BallotCorrectnessVerifier,
+    challenge_from_voter_coins,
+    fiat_shamir_challenge,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme(group, elgamal_keys):
+    return OptionEncodingScheme(3, elgamal_keys.public, group)
+
+
+@pytest.fixture(scope="module")
+def prover(group, elgamal_keys):
+    return BallotCorrectnessProver(elgamal_keys.public, group)
+
+
+@pytest.fixture(scope="module")
+def verifier(group, elgamal_keys):
+    return BallotCorrectnessVerifier(elgamal_keys.public, group)
+
+
+def _prove(scheme, prover, group, option_index, challenge=None):
+    commitment, opening = scheme.commit_option(option_index)
+    announcement, state = prover.first_move(commitment, opening)
+    if challenge is None:
+        challenge = fiat_shamir_challenge(group, commitment, announcement)
+    response = prover.respond(state, challenge)
+    return commitment, announcement, challenge, response
+
+
+class TestHonestProofs:
+    @pytest.mark.parametrize("option_index", [0, 1, 2])
+    def test_valid_unit_vector_verifies(self, scheme, prover, verifier, group, option_index):
+        commitment, announcement, challenge, response = _prove(
+            scheme, prover, group, option_index
+        )
+        assert verifier.verify(commitment, announcement, challenge, response)
+
+    def test_proof_verifies_under_voter_coin_challenge(self, scheme, prover, verifier, group):
+        commitment, opening = scheme.commit_option(1)
+        announcement, state = prover.first_move(commitment, opening)
+        challenge = challenge_from_voter_coins(group, [0, 1, 1, 0, 1])
+        response = prover.respond(state, challenge)
+        assert verifier.verify(commitment, announcement, challenge, response)
+
+    def test_proof_fails_with_wrong_challenge(self, scheme, prover, verifier, group):
+        commitment, announcement, challenge, response = _prove(scheme, prover, group, 0)
+        assert not verifier.verify(commitment, announcement, challenge + 1, response)
+
+    def test_proof_fails_against_different_commitment(self, scheme, prover, verifier, group):
+        commitment, announcement, challenge, response = _prove(scheme, prover, group, 0)
+        other_commitment, _ = scheme.commit_option(0)
+        assert not verifier.verify(other_commitment, announcement, challenge, response)
+
+    def test_first_move_rejects_non_binary_opening(self, scheme, prover):
+        commitment, opening = scheme.commit_vector([2, 0, 0])
+        with pytest.raises(ValueError):
+            prover.first_move(commitment, opening)
+
+
+class TestSoundness:
+    def test_non_unit_vector_cannot_fake_sum_proof(self, scheme, prover, verifier, group):
+        """A commitment to (1,1,0) has valid 0/1 entries but a bad sum.
+
+        The prover's first move only requires 0/1 entries, so a cheating EA
+        could produce the OR proofs; the sum-is-one proof must then fail for
+        any honestly derived challenge.
+        """
+        commitment, opening = scheme.commit_vector([1, 1, 0])
+        announcement, state = prover.first_move(commitment, opening)
+        challenge = fiat_shamir_challenge(group, commitment, announcement)
+        response = prover.respond(state, challenge)
+        assert not verifier.verify(commitment, announcement, challenge, response)
+
+    def test_all_zero_vector_fails(self, scheme, prover, verifier, group):
+        commitment, opening = scheme.commit_vector([0, 0, 0])
+        announcement, state = prover.first_move(commitment, opening)
+        challenge = fiat_shamir_challenge(group, commitment, announcement)
+        response = prover.respond(state, challenge)
+        assert not verifier.verify(commitment, announcement, challenge, response)
+
+    def test_tampered_response_rejected(self, scheme, prover, verifier, group):
+        commitment, announcement, challenge, response = _prove(scheme, prover, group, 1)
+        tampered = response.or_responses[0]
+        bad = type(tampered)(
+            tampered.challenge0, tampered.challenge1,
+            tampered.response0 + 1, tampered.response1,
+        )
+        bad_response = type(response)((bad,) + response.or_responses[1:], response.sum_response)
+        assert not verifier.verify(commitment, announcement, challenge, bad_response)
+
+    def test_mismatched_lengths_rejected(self, scheme, prover, verifier, group):
+        commitment, announcement, challenge, response = _prove(scheme, prover, group, 1)
+        truncated = type(response)(response.or_responses[:-1], response.sum_response)
+        assert not verifier.verify(commitment, announcement, challenge, truncated)
+
+
+class TestChallenges:
+    def test_voter_coin_challenge_depends_on_coins(self, group):
+        a = challenge_from_voter_coins(group, [0, 0, 1])
+        b = challenge_from_voter_coins(group, [0, 1, 1])
+        assert a != b
+
+    def test_voter_coin_challenge_deterministic(self, group):
+        assert challenge_from_voter_coins(group, [1, 0, 1]) == challenge_from_voter_coins(
+            group, [1, 0, 1]
+        )
+
+    def test_voter_coin_challenge_rejects_non_bits(self, group):
+        with pytest.raises(ValueError):
+            challenge_from_voter_coins(group, [0, 2])
+
+    def test_coin_order_matters(self, group):
+        assert challenge_from_voter_coins(group, [1, 0]) != challenge_from_voter_coins(
+            group, [0, 1]
+        )
+
+    def test_fiat_shamir_is_deterministic(self, scheme, prover, group):
+        commitment, opening = scheme.commit_option(0)
+        announcement, _ = prover.first_move(commitment, opening)
+        assert fiat_shamir_challenge(group, commitment, announcement) == fiat_shamir_challenge(
+            group, commitment, announcement
+        )

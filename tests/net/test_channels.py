@@ -1,0 +1,31 @@
+"""Tests for message/channel data structures."""
+
+from repro.net.channels import Channel, ChannelKind, Message
+
+
+class TestChannel:
+    def test_authenticated_by_default(self):
+        channel = Channel("a", "b")
+        assert channel.is_authenticated
+
+    def test_public_channel(self):
+        channel = Channel("voter", "VC-0", ChannelKind.PUBLIC)
+        assert not channel.is_authenticated
+
+
+class TestMessage:
+    def test_message_ids_are_unique(self):
+        first = Message("a", "b", "x")
+        second = Message("a", "b", "x")
+        assert first.message_id != second.message_id
+
+    def test_duplicate_preserves_payload_but_changes_id(self):
+        original = Message("a", "b", {"k": 1}, send_time=3.0)
+        copy = original.duplicate()
+        assert copy.payload == original.payload
+        assert copy.sender == original.sender
+        assert copy.send_time == original.send_time
+        assert copy.message_id != original.message_id
+
+    def test_default_channel_is_authenticated(self):
+        assert Message("a", "b", "x").channel is ChannelKind.AUTHENTICATED

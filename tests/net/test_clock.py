@@ -1,0 +1,98 @@
+"""Tests for global/node clocks with bounded drift."""
+
+import pytest
+
+from repro.net.clock import ClockRegistry, GlobalClock, NodeClock
+
+
+class TestGlobalClock:
+    def test_starts_at_zero_by_default(self):
+        assert GlobalClock().now == 0.0
+
+    def test_advance(self):
+        clock = GlobalClock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GlobalClock().advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = GlobalClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(15.0)
+        assert clock.now == 15.0
+
+
+class TestNodeClock:
+    def test_drift_offsets_global_time(self):
+        global_clock = GlobalClock(100.0)
+        node = NodeClock(global_clock, drift=3.0)
+        assert node.now == 103.0
+
+    def test_init_resets_drift(self):
+        node = NodeClock(GlobalClock(50.0), drift=7.0)
+        node.init()
+        assert node.drift == 0.0
+        assert node.now == 50.0
+
+    def test_advance_increases_drift(self):
+        node = NodeClock(GlobalClock(0.0), drift=0.0)
+        node.advance(2.0)
+        assert node.drift == 2.0
+
+    def test_drift_bound_enforced_on_construction(self):
+        with pytest.raises(ValueError):
+            NodeClock(GlobalClock(), drift=5.0, max_drift=1.0)
+
+    def test_drift_bound_enforced_on_advance(self):
+        node = NodeClock(GlobalClock(), drift=0.5, max_drift=1.0)
+        with pytest.raises(ValueError):
+            node.advance(2.0)
+
+    def test_drift_bound_enforced_on_set(self):
+        node = NodeClock(GlobalClock(), max_drift=1.0)
+        with pytest.raises(ValueError):
+            node.set_drift(2.0)
+        node.set_drift(0.5)
+        assert node.drift == 0.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            NodeClock(GlobalClock()).advance(-1.0)
+
+
+class TestClockRegistry:
+    def test_register_and_lookup(self):
+        registry = ClockRegistry()
+        clock = registry.register("VC-0", drift=1.0)
+        assert registry.clock_of("VC-0") is clock
+
+    def test_register_is_idempotent(self):
+        registry = ClockRegistry()
+        first = registry.register("VC-0")
+        second = registry.register("VC-0")
+        assert first is second
+
+    def test_init_all_resets_every_drift(self):
+        registry = ClockRegistry()
+        registry.register("a", drift=2.0)
+        registry.register("b", drift=-1.0)
+        registry.init_all()
+        assert registry.max_abs_drift() == 0.0
+
+    def test_max_abs_drift(self):
+        registry = ClockRegistry()
+        registry.register("a", drift=2.0)
+        registry.register("b", drift=-3.0)
+        assert registry.max_abs_drift() == 3.0
+
+    def test_max_abs_drift_empty(self):
+        assert ClockRegistry().max_abs_drift() == 0.0
+
+    def test_registry_enforces_global_bound(self):
+        registry = ClockRegistry(max_drift=1.0)
+        with pytest.raises(ValueError):
+            registry.register("a", drift=2.0)

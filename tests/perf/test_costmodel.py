@@ -1,0 +1,84 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.perf.costmodel import (
+    CostModel,
+    CryptoCosts,
+    DatabaseCosts,
+    MachineSpec,
+    NetworkProfile,
+)
+
+
+class TestMachineSpec:
+    def test_round_robin_placement(self):
+        spec = MachineSpec(num_machines=4, cores_per_machine=6)
+        assert [spec.machine_of(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_total_cores(self):
+        assert MachineSpec(4, 6).total_cores == 24
+
+
+class TestNetworkProfile:
+    def test_wan_has_higher_inter_vc_latency(self):
+        assert NetworkProfile.wan().inter_vc_ms > NetworkProfile.lan().inter_vc_ms
+
+    def test_client_latency_is_local_in_both(self):
+        assert NetworkProfile.wan().client_to_vc_ms == NetworkProfile.lan().client_to_vc_ms
+
+
+class TestDatabaseCosts:
+    def test_lookup_grows_with_electorate(self):
+        db = DatabaseCosts()
+        assert db.lookup_ms(250_000_000) > db.lookup_ms(50_000_000) > db.lookup_ms(200_000)
+
+    def test_lookup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DatabaseCosts().lookup_ms(0)
+
+
+class TestCostModel:
+    def test_per_vote_cpu_grows_with_vc_count(self):
+        model = CostModel()
+        costs = [model.per_vote_cpu_ms(nv) for nv in (4, 7, 10, 13, 16)]
+        assert costs == sorted(costs)
+        assert costs[-1] > 2 * costs[0]
+
+    def test_memory_backed_has_no_disk_demand(self):
+        assert CostModel().per_vote_disk_ms(4) == 0.0
+
+    def test_database_backed_has_disk_demand(self):
+        model = CostModel(database=DatabaseCosts(), num_ballots=1_000_000)
+        assert model.per_vote_disk_ms(4) > 0
+
+    def test_throughput_declines_with_vc_count(self):
+        model = CostModel()
+        throughputs = [model.saturated_throughput_estimate(nv) for nv in (4, 7, 16)]
+        assert throughputs[0] > throughputs[1] > throughputs[2]
+
+    def test_throughput_declines_with_electorate_size_when_disk_bound(self):
+        small = CostModel(database=DatabaseCosts(), num_ballots=50_000_000, num_options=2)
+        large = CostModel(database=DatabaseCosts(), num_ballots=250_000_000, num_options=2)
+        assert small.saturated_throughput_estimate(4) > large.saturated_throughput_estimate(4)
+
+    def test_throughput_nearly_flat_in_options(self):
+        """Figure 5b's shape: only a mild decline as m grows."""
+        base = CostModel(database=DatabaseCosts(), num_ballots=200_000, num_options=2)
+        wide = CostModel(database=DatabaseCosts(), num_ballots=200_000, num_options=10)
+        ratio = wide.saturated_throughput_estimate(4) / base.saturated_throughput_estimate(4)
+        assert 0.7 < ratio < 1.0
+
+    def test_wan_increases_latency_but_not_cpu(self):
+        lan = CostModel(network=NetworkProfile.lan())
+        wan = CostModel(network=NetworkProfile.wan())
+        assert wan.unloaded_latency_estimate_ms(4) > lan.unloaded_latency_estimate_ms(4) + 90
+        assert wan.per_vote_cpu_ms(4) == lan.per_vote_cpu_ms(4)
+
+    def test_unloaded_latency_grows_with_vc_count(self):
+        model = CostModel()
+        assert model.unloaded_latency_estimate_ms(16) > model.unloaded_latency_estimate_ms(4)
+
+    def test_crypto_costs_are_positive(self):
+        costs = CryptoCosts()
+        assert costs.sign_ms > 0 and costs.verify_ms > 0 and costs.hash_ms > 0

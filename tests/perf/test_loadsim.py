@@ -1,0 +1,84 @@
+"""Tests for the closed-loop load simulator (small configurations for speed)."""
+
+import pytest
+
+from repro.perf.costmodel import CostModel, DatabaseCosts, NetworkProfile
+from repro.perf.loadsim import VoteCollectionLoadSimulator, sweep_vc_counts
+
+
+def quick_run(num_vc=4, num_clients=100, model=None, votes=300, warmup=50, seed=1):
+    simulator = VoteCollectionLoadSimulator(num_vc, num_clients, model or CostModel(), seed=seed)
+    return simulator.run(target_votes=votes, warmup_votes=warmup)
+
+
+class TestBasicBehaviour:
+    def test_reports_requested_number_of_votes(self):
+        result = quick_run(votes=200, warmup=20)
+        assert result.votes_completed == 200
+
+    def test_throughput_and_latency_positive(self):
+        result = quick_run()
+        assert result.throughput_ops > 0
+        assert result.mean_latency_s > 0
+        assert result.p95_latency_s >= result.median_latency_s
+
+    def test_results_are_reproducible_for_a_seed(self):
+        first = quick_run(seed=7)
+        second = quick_run(seed=7)
+        assert first.throughput_ops == pytest.approx(second.throughput_ops)
+        assert first.mean_latency_s == pytest.approx(second.mean_latency_s)
+
+    def test_as_row_contains_figure_columns(self):
+        row = quick_run().as_row()
+        assert set(row) == {"num_vc", "num_clients", "throughput_ops",
+                            "mean_latency_s", "p95_latency_s"}
+
+    def test_rejects_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            VoteCollectionLoadSimulator(3, 10)
+        with pytest.raises(ValueError):
+            VoteCollectionLoadSimulator(4, 0)
+
+
+class TestFigureShapes:
+    """The qualitative claims of Figures 4 and 5, at reduced scale."""
+
+    def test_throughput_declines_with_more_vc_nodes(self):
+        results = {nv: quick_run(num_vc=nv, num_clients=200, votes=400) for nv in (4, 7, 10)}
+        assert results[4].throughput_ops > results[7].throughput_ops > results[10].throughput_ops
+
+    def test_latency_grows_with_more_vc_nodes(self):
+        results = {nv: quick_run(num_vc=nv, num_clients=200, votes=400) for nv in (4, 10)}
+        assert results[10].mean_latency_s > results[4].mean_latency_s
+
+    def test_throughput_roughly_flat_in_client_count(self):
+        low = quick_run(num_clients=200, votes=400)
+        high = quick_run(num_clients=600, votes=900)
+        assert high.throughput_ops == pytest.approx(low.throughput_ops, rel=0.25)
+
+    def test_latency_grows_with_client_count(self):
+        low = quick_run(num_clients=200, votes=400)
+        high = quick_run(num_clients=600, votes=900)
+        assert high.mean_latency_s > low.mean_latency_s
+
+    def test_wan_latency_higher_but_throughput_similar(self):
+        lan = quick_run(model=CostModel(network=NetworkProfile.lan()), num_clients=300, votes=500)
+        wan = quick_run(model=CostModel(network=NetworkProfile.wan()), num_clients=300, votes=500)
+        assert wan.mean_latency_s > lan.mean_latency_s
+        assert wan.throughput_ops == pytest.approx(lan.throughput_ops, rel=0.30)
+
+    def test_database_backed_throughput_declines_with_electorate(self):
+        small = quick_run(
+            model=CostModel(database=DatabaseCosts(), num_ballots=50_000_000, num_options=2),
+            num_clients=100, votes=200,
+        )
+        large = quick_run(
+            model=CostModel(database=DatabaseCosts(), num_ballots=250_000_000, num_options=2),
+            num_clients=100, votes=200,
+        )
+        assert small.throughput_ops > large.throughput_ops
+
+    def test_sweep_helper_covers_grid(self):
+        results = sweep_vc_counts([4, 7], [50, 100], CostModel, target_votes=150)
+        assert len(results) == 4
+        assert {(r.num_vc, r.num_clients) for r in results} == {(4, 50), (4, 100), (7, 50), (7, 100)}
