@@ -1,0 +1,90 @@
+"""Batched vs. per-ballot Vote Set Consensus: messages and wall-clock.
+
+The paper's network-efficiency claim: "We introduce a version of Binary
+Consensus that operates in batches of arbitrary size; this way, we achieve
+greater network efficiency."  This benchmark quantifies the claim for the
+superblock implementation (`repro.consensus.batching.SuperblockConsensus`)
+against the per-ballot baseline, on the crypto-free consensus cluster
+harness (`repro.consensus.cluster.ConsensusCluster`):
+
+* ``n_ballots`` in {100, 1,000, 10,000} with Nv = 4 nodes;
+* batch sizes 64 / 256 / 1024 against batch size 1;
+* both modes must decide the identical vote set;
+* at 10,000 ballots the batched run must send at least 5x fewer consensus
+  messages (the PR's acceptance criterion).
+
+Results land in ``benchmarks/results/batched_consensus.json``; see
+``benchmarks/README.md`` for the field glossary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.consensus.cluster import ConsensusCluster
+from repro.perf.costmodel import ConsensusCosts
+
+NUM_NODES = 4
+BALLOT_COUNTS = (100, 1_000, 10_000)
+BATCH_SIZES = (64, 256, 1_024)
+
+
+def make_opinions(num_ballots):
+    """Deterministic mixed opinions: roughly two thirds of ballots voted."""
+    return {serial: (0 if serial % 3 == 0 else 1) for serial in range(num_ballots)}
+
+
+def run_mode(num_ballots, batch_size):
+    opinions = make_opinions(num_ballots)
+    cluster = ConsensusCluster(num_nodes=NUM_NODES, batch_size=batch_size)
+    started = time.perf_counter()
+    result = cluster.run(opinions)
+    elapsed = time.perf_counter() - started
+    assert result.agreed
+    return result, elapsed
+
+
+def run_sweep():
+    model = ConsensusCosts()
+    rows = []
+    for num_ballots in BALLOT_COUNTS:
+        baseline, baseline_seconds = run_mode(num_ballots, batch_size=1)
+        for batch_size in BATCH_SIZES:
+            batched, batched_seconds = run_mode(num_ballots, batch_size)
+            assert batched.decisions[0] == baseline.decisions[0]
+            rows.append({
+                "num_ballots": num_ballots,
+                "batch_size": batch_size,
+                "baseline_messages": baseline.messages_sent,
+                "batched_messages": batched.messages_sent,
+                "message_reduction": round(
+                    baseline.messages_sent / batched.messages_sent, 2
+                ),
+                "model_reduction": round(
+                    model.batching_speedup(NUM_NODES, num_ballots, batch_size), 2
+                ),
+                "baseline_seconds": round(baseline_seconds, 3),
+                "batched_seconds": round(batched_seconds, 3),
+                "wallclock_speedup": round(baseline_seconds / batched_seconds, 2),
+                "superblocks_fast": batched.superblocks_fast,
+                "superblocks_fallback": batched.superblocks_fallback,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="batched-consensus")
+def test_batched_consensus_message_reduction(benchmark, results_sink):
+    """Superblock VSC vs. per-ballot baseline across electorate sizes."""
+    save, show = results_sink
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save("batched_consensus", rows)
+    show("Batched vs per-ballot Vote Set Consensus (Nv = 4)", rows)
+    # Acceptance criterion: >= 5x fewer consensus messages at 10k ballots.
+    at_10k = [row for row in rows if row["num_ballots"] == 10_000]
+    assert at_10k and all(row["message_reduction"] >= 5.0 for row in at_10k)
+    # Larger batches never send more messages.
+    for num_ballots in BALLOT_COUNTS:
+        series = [r["batched_messages"] for r in rows if r["num_ballots"] == num_ballots]
+        assert series == sorted(series, reverse=True)

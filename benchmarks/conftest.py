@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 import pytest
 

@@ -22,7 +22,7 @@ the one the proof's recurrence yields, ``4 Delta + 2 delta``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

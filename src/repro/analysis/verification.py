@@ -8,7 +8,6 @@ dropping a receipted vote is below 10^-17").
 
 from __future__ import annotations
 
-from typing import Optional
 
 #: Receipts are 64-bit random values (Section III-D).
 RECEIPT_SPACE = 2 ** 64

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.ballot import PARTS
 from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
 from repro.core.election import ElectionParameters
 from repro.core.voter import VoterAuditInfo
@@ -88,7 +87,7 @@ class Auditor:
 
         self._check_unique_vote_codes(report, decrypted)
         self._check_single_submission(report, vote_set)
-        cast_locations = self._check_single_part_used(report, vote_set, decrypted)
+        self._check_single_part_used(report, vote_set, decrypted)
         self._check_openings(report, scheme, result)
         self._check_proofs(report, verifier, result)
         for info in delegations:

@@ -25,8 +25,8 @@ Firefox extension.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ballot import PARTS
 from repro.core.ea import BbInitData

@@ -11,6 +11,11 @@ examples can demonstrate that the protocol guarantees survive them:
 * :class:`EquivocatingVoteCollector` -- endorses every vote code it sees
   (violating the one-endorsement-per-ballot rule) and lies during Vote Set
   Consensus by announcing "no vote code known".
+* :class:`UcertWithholdingVoteCollector` -- as the voter's responder it forms
+  the UCERT but never discloses it during voting, then reveals it to only a
+  subset of peers at election end.  This splits honest opinions *inside* a
+  consensus superblock, forcing batched Vote Set Consensus off the fast path
+  and through the per-ballot recovery sub-protocol.
 * :class:`WithholdingBulletinBoard` -- a BB node that reports an empty/na
   state to readers, exercising the majority-read logic.
 * :class:`CorruptTrustee` -- submits corrupted opening shares.
@@ -18,7 +23,6 @@ examples can demonstrate that the protocol guarantees survive them:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.bulletin_board import BulletinBoardNode
 from repro.core.messages import Announce, Endorse, Endorsement, VotePending
@@ -84,6 +88,42 @@ class EquivocatingVoteCollector(VoteCollectorNode):
         for serial in self.ballots:
             self._consensus_record(serial)
             self.broadcast(self.peers, Announce(serial, None, None, self.node_id))
+
+
+class UcertWithholdingVoteCollector(VoteCollectorNode):
+    """A responder that hoards the UCERT, then reveals it selectively.
+
+    During voting it collects endorsements normally (so a genuine UCERT
+    exists) but never multicasts VOTE_P: no honest node learns the ballot was
+    used, and the voter gets no receipt.  At election end it announces the
+    certificate to the peers listed in ``reveal_to`` and "nothing known" to
+    everyone else.  Honest nodes then genuinely disagree about the ballot --
+    the revealed-to nodes adopt the valid UCERT, the others cannot -- which is
+    the scenario batched Vote Set Consensus must survive: the superblock
+    containing the ballot loses its unanimous fast path and the nodes that
+    decide "voted" without the code run the RECOVER exchange.
+    """
+
+    #: peers that get the real announce (set per test before election end)
+    reveal_to: tuple = ()
+
+    def _disclose_share(self, serial, record, vote_code, ucert) -> None:
+        # Form the UCERT (the caller already stored it) but tell no one.
+        record.vote_p_sent = True
+
+    def end_election(self) -> None:
+        if self.vsc_started:
+            return
+        self.voting_closed = True
+        self.vsc_started = True
+        for serial, record in self.ballots.items():
+            if record.ucert is not None:
+                honest = Announce(serial, record.used_vote_code, record.ucert, self.node_id)
+                lie = Announce(serial, None, None, self.node_id)
+                for peer in self.peers:
+                    self.send(peer, honest if peer in self.reveal_to else lie)
+            else:
+                self.broadcast(self.peers, Announce(serial, None, None, self.node_id))
 
 
 class WithholdingBulletinBoard(BulletinBoardNode):

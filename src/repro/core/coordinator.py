@@ -12,8 +12,8 @@ integration tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type
 
 from repro.core.auditor import Auditor, AuditReport
 from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
@@ -53,6 +53,20 @@ class ElectionOutcome:
     def receipts_obtained(self) -> int:
         """How many voters obtained a (valid) receipt."""
         return sum(1 for voter in self.voters if voter.receipt is not None)
+
+    @property
+    def consensus_stats(self) -> Dict[str, int]:
+        """Aggregate Vote Set Consensus counters across all VC nodes.
+
+        Keys match :class:`repro.core.vote_collector.VscStats`; with
+        ``consensus_batch_size > 1`` the superblock counters show how many
+        blocks took the fast path versus falling back to per-ballot consensus.
+        """
+        totals: Dict[str, int] = {}
+        for node in self.vote_collectors:
+            for key, value in node.vsc_stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @property
     def all_receipts_valid(self) -> bool:

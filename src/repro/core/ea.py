@@ -23,7 +23,7 @@ running election.  Concretely it generates:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.ballot import (
     Ballot,

@@ -11,8 +11,8 @@ whose sizes and fault thresholds must satisfy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,10 @@ class ElectionParameters:
     election_start: float = 0.0
     election_end: float = 1_000.0
     election_id: str = "election-1"
+    #: Vote Set Consensus superblock size: 1 runs the paper's one binary
+    #: consensus instance per ballot; B > 1 decides B ballots per instance
+    #: (falling back to per-ballot consensus for blocks with disagreement).
+    consensus_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if len(self.options) < 2:
@@ -79,6 +83,8 @@ class ElectionParameters:
             raise ValueError("an election needs at least one voter")
         if self.election_end <= self.election_start:
             raise ValueError("election must end after it starts")
+        if self.consensus_batch_size < 1:
+            raise ValueError("consensus batch size must be at least 1")
         self.thresholds.validate()
 
     @property
@@ -103,6 +109,7 @@ class ElectionParameters:
         num_trustees: int = 3,
         trustee_threshold: int = 2,
         election_end: float = 1_000.0,
+        consensus_batch_size: int = 1,
     ) -> "ElectionParameters":
         """Convenience constructor used heavily by tests and examples."""
         options = [f"option-{i + 1}" for i in range(num_options)]
@@ -112,4 +119,5 @@ class ElectionParameters:
             num_voters=num_voters,
             thresholds=thresholds,
             election_end=election_end,
+            consensus_batch_size=consensus_batch_size,
         )

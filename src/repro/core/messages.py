@@ -10,7 +10,7 @@ Consensus (wrapped in :class:`VscEnvelope` or batched).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.consensus.batching import BatchEnvelope

@@ -15,7 +15,7 @@ bounds the soundness error (Theorem 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.core.ballot import PART_A, PART_B
 from repro.crypto.commitments import CommitmentOpening, OptionCommitment, OptionEncodingScheme

@@ -25,14 +25,14 @@ the challenge, so a trustee's share of the component is simply
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.core.ballot import PARTS, TrusteeBallotView
+from repro.core.ballot import PARTS
 from repro.core.ea import TrusteeInitData
 from repro.core.election import ElectionParameters
 from repro.core.tally import voter_coin_challenge
 from repro.crypto.group import Group
-from repro.crypto.pedersen_vss import PedersenShare, PedersenVSS
+from repro.crypto.pedersen_vss import PedersenShare
 from repro.crypto.shamir import Share
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.utils import sha256

@@ -22,6 +22,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.consensus.batching import (
+    SUPERBLOCK_PREFIX,
+    ConsensusBatcher,
+    SuperblockConsensus,
+    partition_serials,
+    superblock_id,
+)
 from repro.consensus.bracha import BinaryConsensusInstance
 from repro.consensus.interfaces import ConsensusMessage
 from repro.core.ea import VcInitData, bb_node_id, vc_node_id
@@ -39,6 +46,7 @@ from repro.core.messages import (
     VoteRejected,
     VoteRequest,
     VoteSetUpload,
+    VscBatch,
     VscEnvelope,
 )
 from repro.crypto.shamir import ShamirSecretSharing, SignedShare, SigningDealer
@@ -88,6 +96,36 @@ class ConsensusRecord:
     buffered: List[Tuple[str, ConsensusMessage]] = field(default_factory=list)
 
 
+@dataclass
+class VscStats:
+    """Counters describing how Vote Set Consensus was carried out on a node."""
+
+    #: per-ballot binary consensus instances this node actually proposed in
+    per_ballot_instances: int = 0
+    #: superblocks started (0 when ``consensus_batch_size == 1``)
+    superblocks: int = 0
+    #: superblocks resolved on the fast path (one instance for the whole block)
+    superblocks_fast: int = 0
+    #: superblocks that fell back to per-ballot consensus
+    superblocks_fallback: int = 0
+    #: RECOVER-REQUEST exchanges issued (decided "voted" without the code)
+    recover_requests: int = 0
+    #: consensus envelopes sent / consensus messages carried inside them
+    envelopes_sent: int = 0
+    envelope_messages: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "per_ballot_instances": self.per_ballot_instances,
+            "superblocks": self.superblocks,
+            "superblocks_fast": self.superblocks_fast,
+            "superblocks_fallback": self.superblocks_fallback,
+            "recover_requests": self.recover_requests,
+            "envelopes_sent": self.envelopes_sent,
+            "envelope_messages": self.envelope_messages,
+        }
+
+
 def endorsement_message(serial: int, vote_code: bytes) -> bytes:
     """The byte string a VC node signs when endorsing a vote code."""
     return b"endorse|" + serial.to_bytes(8, "big") + b"|" + vote_code
@@ -125,9 +163,33 @@ class VoteCollectorNode(SimNode):
         self.final_vote_set: Optional[Tuple[Tuple[int, bytes], ...]] = None
         self.uploaded = False
 
+        # Superblock (batched) Vote Set Consensus state.  The block partition
+        # is derived from the (identical) ballot set, so every honest node
+        # computes the same blocks without coordination.
+        self.batch_size = params.consensus_batch_size
+        self.superblocks: Dict[str, SuperblockConsensus] = {}
+        self._block_serials: Dict[str, Tuple[int, ...]] = {}
+        self._serial_to_block: Dict[int, str] = {}
+        self._sb_pending_announces: Dict[str, Set[int]] = {}
+        self._sb_buffer: Dict[str, List[Tuple[str, ConsensusMessage]]] = {}
+        self._batcher: Optional[ConsensusBatcher] = None
+        if self.batch_size > 1:
+            for index, block in enumerate(partition_serials(init.ballots, self.batch_size)):
+                block_id = superblock_id(index)
+                self._block_serials[block_id] = block
+                self._sb_pending_announces[block_id] = set(block)
+                for serial in block:
+                    self._serial_to_block[serial] = block_id
+            self._batcher = ConsensusBatcher(
+                lambda destination, envelope: self.send(
+                    destination, VscBatch(envelope, self.node_id)
+                )
+            )
+
         # Statistics (used by tests and the performance harness).
         self.receipts_issued = 0
         self.votes_rejected = 0
+        self.vsc_stats = VscStats()
 
     # ------------------------------------------------------------------ dispatch
 
@@ -145,10 +207,14 @@ class VoteCollectorNode(SimNode):
             self._on_announce(message.sender, payload)
         elif isinstance(payload, VscEnvelope):
             self._on_consensus_message(payload.sender, payload.consensus_message)
+        elif isinstance(payload, VscBatch):
+            for consensus_message in payload.envelope.messages:
+                self._on_consensus_message(payload.sender, consensus_message)
         elif isinstance(payload, RecoverRequest):
             self._on_recover_request(payload)
         elif isinstance(payload, RecoverResponse):
             self._on_recover_response(payload)
+        self._flush_vsc()
 
     # ------------------------------------------------------------------ voting
 
@@ -339,11 +405,16 @@ class VoteCollectorNode(SimNode):
         self.voting_closed = True
         self.vsc_started = True
         for serial, record in self.ballots.items():
-            state = self._consensus_record(serial)
+            self._consensus_record(serial)
             vote_code = record.used_vote_code if record.ucert is not None else None
             ucert = record.ucert if vote_code is not None else None
             announce = Announce(serial, vote_code, ucert, self.node_id)
             self.broadcast(self.peers, announce)
+        # Announces may have raced ahead of our own election end; any block
+        # whose members already have a quorum of them can start immediately.
+        for block_id in list(self._sb_pending_announces):
+            self._maybe_start_superblock(block_id)
+        self._flush_vsc()
 
     def _consensus_record(self, serial: int) -> ConsensusRecord:
         if serial not in self.consensus:
@@ -363,22 +434,44 @@ class VoteCollectorNode(SimNode):
                 record.ucert = announce.ucert
                 if record.status is BallotStatus.NOT_VOTED:
                     record.status = BallotStatus.PENDING
-        if self.vsc_started and not state.proposed and len(state.announces) >= self.quorum:
+        if len(state.announces) < self.quorum:
+            return
+        if self.batch_size > 1:
+            # Batched mode: a ballot with a quorum of announces is "ready";
+            # its superblock starts once every member ballot is ready.
+            block_id = self._serial_to_block.get(announce.serial)
+            pending = self._sb_pending_announces.get(block_id)
+            if pending is not None:
+                pending.discard(announce.serial)
+                self._maybe_start_superblock(block_id)
+        elif self.vsc_started and not state.proposed:
             self._start_consensus(announce.serial, state)
 
     def _start_consensus(self, serial: int, state: ConsensusRecord) -> None:
         state.proposed = True
+        self.vsc_stats.per_ballot_instances += 1
         record = self.ballots.get(serial)
         opinion = 1 if (record is not None and record.ucert is not None) else 0
         instance = self._ensure_instance(serial, state)
         instance.propose(opinion)
 
+    def _vsc_broadcast(self, message: ConsensusMessage) -> None:
+        """Send a consensus message to every VC node, batched when enabled."""
+        if self._batcher is not None:
+            self._batcher.enqueue_broadcast(self.peers, message)
+        else:
+            self.broadcast(self.peers, VscEnvelope(message, self.node_id))
+
+    def _flush_vsc(self) -> None:
+        """Flush buffered consensus traffic as one envelope per destination."""
+        if self._batcher is not None:
+            self._batcher.flush()
+            self.vsc_stats.envelopes_sent = self._batcher.envelopes_sent
+            self.vsc_stats.envelope_messages = self._batcher.messages_sent
+
     def _ensure_instance(self, serial: int, state: ConsensusRecord) -> BinaryConsensusInstance:
         if state.instance is None:
             instance_id = str(serial)
-
-            def broadcast(message: ConsensusMessage, _serial=serial) -> None:
-                self.broadcast(self.peers, VscEnvelope(message, self.node_id))
 
             def on_decide(instance_id_: str, value: int, _serial=serial) -> None:
                 self._on_consensus_decision(_serial, value)
@@ -388,7 +481,7 @@ class VoteCollectorNode(SimNode):
                 node_id=self.node_id,
                 num_nodes=self.num_vc,
                 num_faulty=self.thresholds.max_faulty_vc,
-                broadcast=broadcast,
+                broadcast=self._vsc_broadcast,
                 on_decide=on_decide,
             )
             for sender, message in state.buffered:
@@ -396,7 +489,73 @@ class VoteCollectorNode(SimNode):
             state.buffered.clear()
         return state.instance
 
+    # -- superblock (batched) mode ------------------------------------------------
+
+    def _maybe_start_superblock(self, block_id: str) -> None:
+        """Start a block once VSC began and all its ballots have announce quorums."""
+        if not self.vsc_started or block_id in self.superblocks:
+            return
+        pending = self._sb_pending_announces.get(block_id)
+        if pending is None or pending:
+            return
+        del self._sb_pending_announces[block_id]
+        serials = self._block_serials[block_id]
+        opinions = {
+            serial: 1 if self.ballots[serial].ucert is not None else 0
+            for serial in serials
+        }
+        self.vsc_stats.superblocks += 1
+        block = SuperblockConsensus(
+            block_id=block_id,
+            serials=serials,
+            node_id=self.node_id,
+            num_nodes=self.num_vc,
+            num_faulty=self.thresholds.max_faulty_vc,
+            opinions=opinions,
+            broadcast=self._vsc_broadcast,
+            schedule=self._vsc_schedule,
+            on_resolve=self._on_superblock_resolve,
+            on_fallback=self._on_superblock_fallback,
+        )
+        self.superblocks[block_id] = block
+        block.start()
+        for sender, message in self._sb_buffer.pop(block_id, []):
+            block.handle(sender, message)
+
+    def _vsc_schedule(self, delay: float, callback) -> None:
+        def fire() -> None:
+            callback()
+            self._flush_vsc()
+
+        self.set_timer(delay, fire, description="superblock-grace")
+
+    def _on_superblock_resolve(self, block: SuperblockConsensus, bits: Dict[int, int]) -> None:
+        """Fast path: the whole block was decided by one consensus instance."""
+        self.vsc_stats.superblocks_fast += 1
+        for serial, bit in bits.items():
+            self._on_consensus_decision(serial, bit)
+
+    def _on_superblock_fallback(self, block: SuperblockConsensus) -> None:
+        """Slow path: run classic per-ballot consensus for the block's ballots."""
+        self.vsc_stats.superblocks_fallback += 1
+        for serial in block.serials:
+            state = self._consensus_record(serial)
+            if not state.proposed:
+                self._start_consensus(serial, state)
+
     def _on_consensus_message(self, sender: str, message: ConsensusMessage) -> None:
+        if message.instance.startswith(SUPERBLOCK_PREFIX):
+            block = self.superblocks.get(message.instance)
+            if block is None:
+                # The peer's election end (or its announces) outran ours;
+                # buffer until our own superblock exists.  Only ids from our
+                # own partition are kept -- anything else is Byzantine junk
+                # that would otherwise accumulate forever.
+                if message.instance in self._block_serials:
+                    self._sb_buffer.setdefault(message.instance, []).append((sender, message))
+                return
+            block.handle(sender, message)
+            return
         serial = int(message.instance)
         state = self._consensus_record(serial)
         if state.instance is None:
@@ -421,6 +580,7 @@ class VoteCollectorNode(SimNode):
             elif not state.recover_requested:
                 # We decided "voted" without knowing the winning code: recover.
                 state.recover_requested = True
+                self.vsc_stats.recover_requests += 1
                 self.broadcast(self.peers, RecoverRequest(serial, self.node_id))
         self._maybe_finish_vsc()
 

@@ -21,7 +21,7 @@ part of her ballot matches what was printed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.ballot import Ballot, PART_A, PART_B

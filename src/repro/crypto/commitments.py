@@ -77,6 +77,9 @@ class OptionEncodingScheme:
         self.group = group or default_group()
         self.public_key = public_key
         self.elgamal = LiftedElGamal(self.group)
+        # One commitment vector is produced per ballot line, all under the same
+        # key: warm the fixed-base table once so every encryption hits it.
+        self.elgamal.precompute_key(self.public_key)
 
     # -- commitment creation ---------------------------------------------------
 

@@ -13,7 +13,7 @@ only that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.crypto.group import Group, GroupElement, default_group
 from repro.crypto.utils import RandomSource, default_random
@@ -82,7 +82,7 @@ class PedersenVSS:
         f_coeffs = [secret] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
         r_coeffs = [blinding] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
         commitments = tuple(
-            (self.g ** a) * (self.h ** b) for a, b in zip(f_coeffs, r_coeffs)
+            self._pedersen_commit(a, b) for a, b in zip(f_coeffs, r_coeffs)
         )
         shares = tuple(
             PedersenShare(i, self._evaluate(f_coeffs, i), self._evaluate(r_coeffs, i))
@@ -96,17 +96,27 @@ class PedersenVSS:
             result = (result * x + coefficient) % self.q
         return result
 
+    def _pedersen_commit(self, value: int, blinding: int) -> GroupElement:
+        """``g^value * h^blinding`` through the cached fixed-base tables."""
+        return self.group.power_g(value) * self.group.power_h(blinding)
+
     # -- verification ----------------------------------------------------------
 
     def verify_share(self, share: PedersenShare, commitments: PedersenCommitments) -> bool:
-        """Check a share against the public polynomial commitments."""
-        lhs = (self.g ** (share.value % self.q)) * (self.h ** (share.blinding % self.q))
-        rhs = self.group.identity()
+        """Check a share against the public polynomial commitments.
+
+        The left side reuses the fixed-base tables for ``g`` and ``h``; the
+        right side is a variable-base product (the polynomial commitments are
+        fresh per dealing), evaluated as one simultaneous multi-exponentiation
+        instead of ``threshold`` separate ones.
+        """
+        lhs = self._pedersen_commit(share.value, share.blinding)
         power = 1
+        pairs = []
         for commitment in commitments.commitments:
-            rhs = rhs * (commitment ** power)
+            pairs.append((commitment, power))
             power = (power * share.index) % self.q
-        return lhs == rhs
+        return lhs == self.group.multi_power(pairs)
 
     # -- reconstruction ---------------------------------------------------------
 

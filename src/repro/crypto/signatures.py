@@ -46,7 +46,7 @@ class SignatureScheme:
         """Generate a fresh signing key pair."""
         rng = rng or default_random()
         secret = self.group.random_scalar(rng)
-        return SchnorrKeyPair(secret, self.group.generator() ** secret)
+        return SchnorrKeyPair(secret, self.group.power_g(secret))
 
     def sign(
         self,
@@ -57,7 +57,7 @@ class SignatureScheme:
         """Sign ``message`` with the secret key."""
         rng = rng or default_random()
         nonce = self.group.random_scalar(rng)
-        commitment = self.group.generator() ** nonce
+        commitment = self.group.power_g(nonce)
         challenge = self.group.hash_to_scalar(
             b"d-demos-schnorr-sig",
             keys.public.serialize(),
@@ -70,10 +70,18 @@ class SignatureScheme:
     def verify(
         self, public: GroupElement, message: bytes, signature: SchnorrSignature
     ) -> bool:
-        """Verify a signature on ``message`` under ``public``."""
-        g = self.group.generator()
+        """Verify a signature on ``message`` under ``public``.
+
+        Each signer's key verifies many signatures per election (one per
+        endorsement, share and trustee submission), so ``X^c`` goes through a
+        per-key fixed-base table just like ``g^s`` -- built lazily once the
+        key proves hot, so one-shot keys keep plain ``pow`` speed.
+        """
         # Recompute the commitment: R = g^s / X^c.
-        commitment = (g ** signature.response) * (public ** signature.challenge).inverse()
+        commitment = (
+            self.group.power_g(signature.response)
+            * self.group.cached_power(public, signature.challenge).inverse()
+        )
         expected = self.group.hash_to_scalar(
             b"d-demos-schnorr-sig",
             public.serialize(),

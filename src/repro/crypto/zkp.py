@@ -20,7 +20,7 @@ used by unit tests and auditors who want a non-interactive check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.crypto.commitments import CommitmentOpening, OptionCommitment
 from repro.crypto.elgamal import ElGamalCiphertext

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Callable, Iterable, Optional, Set
 
 from repro.net.channels import Message
 

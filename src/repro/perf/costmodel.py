@@ -63,6 +63,49 @@ class DatabaseCosts:
 
 
 @dataclass(frozen=True)
+class ConsensusCosts:
+    """Analytic message-count model of Vote Set Consensus (Section III-E).
+
+    *Per-ballot* mode runs one binary consensus instance per ballot.  With the
+    common coin an instance takes ``expected_rounds`` rounds; per round every
+    node broadcasts BVAL (twice, counting the echo amplification) and AUX, and
+    each decision is announced with one FINISH broadcast, so a single instance
+    costs about ``(3 * rounds + 1) * Nv^2`` point-to-point messages.
+
+    *Superblock* mode replaces the per-ballot instances of a block of ``B``
+    ballots with ``Nv`` reliably-broadcast opinion vectors (send + echo + ready
+    is roughly ``(2 Nv + 1) * Nv`` messages per vector) and **one** binary
+    instance, amortizing the instance cost ``B``-fold on the fast path.
+    """
+
+    expected_rounds: float = 1.0
+
+    def instance_messages(self, num_vc: int) -> float:
+        """Messages of one binary consensus instance."""
+        return (3.0 * self.expected_rounds + 1.0) * num_vc * num_vc
+
+    def per_ballot_messages(self, num_vc: int, num_ballots: int) -> float:
+        """Total consensus messages with one instance per ballot."""
+        return num_ballots * self.instance_messages(num_vc)
+
+    def superblock_messages(self, num_vc: int, num_ballots: int, batch_size: int) -> float:
+        """Total consensus messages with fast-path superblocks of ``batch_size``."""
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        if batch_size == 1:
+            return self.per_ballot_messages(num_vc, num_ballots)
+        num_blocks = math.ceil(num_ballots / batch_size)
+        rbc_per_block = num_vc * (2.0 * num_vc + 1.0) * num_vc
+        return num_blocks * (rbc_per_block + self.instance_messages(num_vc))
+
+    def batching_speedup(self, num_vc: int, num_ballots: int, batch_size: int) -> float:
+        """Message-count reduction factor of batched over per-ballot VSC."""
+        return self.per_ballot_messages(num_vc, num_ballots) / self.superblock_messages(
+            num_vc, num_ballots, batch_size
+        )
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """The physical machines hosting the VC nodes (the paper used 4)."""
 
@@ -104,6 +147,7 @@ class CostModel:
     crypto: CryptoCosts = field(default_factory=CryptoCosts)
     machines: MachineSpec = field(default_factory=MachineSpec)
     network: NetworkProfile = field(default_factory=NetworkProfile.lan)
+    consensus: ConsensusCosts = field(default_factory=ConsensusCosts)
     database: Optional[DatabaseCosts] = None
     num_ballots: int = 200_000
     num_options: int = 4
@@ -181,6 +225,16 @@ class CostModel:
     def per_vote_disk_ms(self, num_vc: int) -> float:
         """Aggregate disk demand of one vote (every VC node accesses the ballot once)."""
         return num_vc * self.ballot_access_disk_ms()
+
+    # -- Vote Set Consensus message budget ---------------------------------------------
+
+    def vsc_message_estimate(self, num_vc: int, batch_size: int = 1) -> float:
+        """Consensus messages at election end for this model's electorate."""
+        return self.consensus.superblock_messages(num_vc, self.num_ballots, batch_size)
+
+    def vsc_batching_speedup(self, num_vc: int, batch_size: int) -> float:
+        """How many times fewer consensus messages batched VSC sends."""
+        return self.consensus.batching_speedup(num_vc, self.num_ballots, batch_size)
 
     # -- analytic estimates (used as cross-checks and by the phase model) ------------
 

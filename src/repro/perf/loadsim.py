@@ -24,7 +24,7 @@ import heapq
 import itertools
 import random
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.perf.costmodel import CostModel

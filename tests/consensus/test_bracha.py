@@ -11,7 +11,7 @@ import pytest
 
 from repro.consensus.bracha import BinaryConsensusInstance, common_coin
 from repro.consensus.interfaces import Aux, BVal, Finish
-from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.adversary import NetworkConditions
 from repro.net.channels import Message
 from repro.net.simulator import Network, SimNode
 

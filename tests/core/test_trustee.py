@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
-from repro.core.trustee import BbElectionView, Trustee
+from repro.core.trustee import BbElectionView
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the voter client."""
 
-import pytest
 
 from repro.core.ballot import PART_A, PART_B
 from repro.core.voter import VoterClient

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.crypto.group import EcGroup, SchnorrGroup, default_group
+from repro.crypto.group import (
+    EcGroup,
+    FixedBasePrecomputation,
+    SchnorrFixedBase,
+    SchnorrGroup,
+    default_group,
+)
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +105,90 @@ class TestEcGroup:
         g = ec_group.generator()
         for k in (2, 17, 12345):
             assert ec_group.is_on_curve(g ** k)
+
+
+class TestFixedBasePrecomputation:
+    def test_schnorr_power_matches_naive(self, group, rng):
+        table = group.fixed_base(group.generator())
+        assert isinstance(table, SchnorrFixedBase)
+        for _ in range(10):
+            exponent = group.random_scalar(rng)
+            assert table.power(exponent) == group.generator() ** exponent
+
+    def test_power_of_zero_is_identity(self, group):
+        assert group.fixed_base(group.generator()).power(0) == group.identity()
+
+    def test_power_wraps_modulo_order(self, group):
+        table = group.fixed_base(group.generator())
+        assert table.power(group.order + 5) == group.generator() ** 5
+
+    def test_negative_exponent(self, group):
+        table = group.fixed_base(group.generator())
+        assert table.power(-3) == (group.generator() ** 3).inverse()
+
+    def test_table_is_cached_per_base(self, group):
+        assert group.fixed_base(group.generator()) is group.fixed_base(group.generator())
+        assert group.fixed_base(group.generator()) is not group.fixed_base(group.second_generator())
+
+    def test_power_g_and_power_h_shortcuts(self, group):
+        assert group.power_g(123) == group.generator() ** 123
+        assert group.power_h(456) == group.second_generator() ** 456
+
+    def test_generic_table_on_ec_backend(self, ec_group):
+        table = ec_group.fixed_base(ec_group.generator())
+        assert isinstance(table, FixedBasePrecomputation)
+        for exponent in (1, 2, 12345, ec_group.order - 1):
+            assert table.power(exponent) == ec_group.generator() ** exponent
+
+    def test_arbitrary_base_table(self, group, rng):
+        base = group.generator() ** group.random_scalar(rng)
+        table = group.fixed_base(base)
+        exponent = group.random_scalar(rng)
+        assert table.power(exponent) == base ** exponent
+
+    def test_invalid_window_rejected(self, group):
+        with pytest.raises(ValueError):
+            SchnorrFixedBase(group.generator(), window=0)
+
+    def test_cached_power_promotes_hot_bases_only(self, group, rng):
+        base = group.generator() ** group.random_scalar(rng)
+        one_shot = group.generator() ** group.random_scalar(rng)
+        exponent = group.random_scalar(rng)
+        assert group.cached_power(one_shot, exponent) == one_shot ** exponent
+        for _ in range(group.PRECOMPUTE_AFTER_USES + 1):
+            assert group.cached_power(base, exponent) == base ** exponent
+        cache = group._fixed_base_cache
+        assert base.serialize() in cache        # reused base got a table
+        assert one_shot.serialize() not in cache  # one-shot base did not
+
+
+class TestMultiPower:
+    def test_schnorr_matches_separate_powers(self, group, rng):
+        g, h = group.generator(), group.second_generator()
+        a, b = group.random_scalar(rng), group.random_scalar(rng)
+        assert group.multi_power([(g, a), (h, b)]) == (g ** a) * (h ** b)
+
+    def test_ec_matches_separate_powers(self, ec_group):
+        g, h = ec_group.generator(), ec_group.second_generator()
+        assert ec_group.multi_power([(g, 31), (h, 57)]) == (g ** 31) * (h ** 57)
+
+    def test_empty_product_is_identity(self, group):
+        assert group.multi_power([]) == group.identity()
+
+    def test_zero_exponents_are_skipped(self, group):
+        g = group.generator()
+        assert group.multi_power([(g, 0), (group.second_generator(), 0)]) == group.identity()
+        assert group.multi_power([(g, 7), (group.second_generator(), 0)]) == g ** 7
+
+    def test_many_bases(self, group, rng):
+        pairs = []
+        expected = group.identity()
+        for _ in range(5):
+            base = group.generator() ** group.random_scalar(rng)
+            exponent = group.random_scalar(rng)
+            pairs.append((base, exponent))
+            expected = expected * (base ** exponent)
+        assert group.multi_power(pairs) == expected
 
 
 class TestCrossBackend:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.adversary import Adversary, NetworkConditions
-from repro.net.channels import ChannelKind, Message
+from repro.net.channels import Message
 from repro.net.simulator import Network, SimNode
 
 

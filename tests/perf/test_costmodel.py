@@ -3,12 +3,37 @@
 import pytest
 
 from repro.perf.costmodel import (
+    ConsensusCosts,
     CostModel,
     CryptoCosts,
     DatabaseCosts,
     MachineSpec,
     NetworkProfile,
 )
+
+
+class TestConsensusCosts:
+    def test_batch_size_one_equals_per_ballot(self):
+        costs = ConsensusCosts()
+        assert costs.superblock_messages(4, 10_000, 1) == costs.per_ballot_messages(4, 10_000)
+
+    def test_batching_reduces_messages_monotonically(self):
+        costs = ConsensusCosts()
+        totals = [costs.superblock_messages(4, 10_000, b) for b in (1, 16, 256, 1024)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_speedup_exceeds_5x_at_10k_ballots(self):
+        # The acceptance-criterion shape, at the analytic level.
+        assert ConsensusCosts().batching_speedup(4, 10_000, 1024) >= 5.0
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusCosts().superblock_messages(4, 100, 0)
+
+    def test_cost_model_convenience_wrappers(self):
+        model = CostModel(num_ballots=10_000)
+        assert model.vsc_message_estimate(4, 256) < model.vsc_message_estimate(4, 1)
+        assert model.vsc_batching_speedup(4, 256) > 5.0
 
 
 class TestMachineSpec:
