@@ -14,11 +14,14 @@ harness (`repro.consensus.cluster.ConsensusCluster`):
   messages (the PR's acceptance criterion).
 
 Results land in ``benchmarks/results/batched_consensus.json``; see
-``benchmarks/README.md`` for the field glossary.
+``benchmarks/README.md`` for the field glossary.  Set ``BENCH_SMOKE=1`` for
+the CI regression gate: the electorate sweep stops at 1,000 ballots and the
+message-reduction criterion applies to the largest size actually run.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -26,9 +29,10 @@ import pytest
 from repro.consensus.cluster import ConsensusCluster
 from repro.perf.costmodel import ConsensusCosts
 
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 NUM_NODES = 4
-BALLOT_COUNTS = (100, 1_000, 10_000)
-BATCH_SIZES = (64, 256, 1_024)
+BALLOT_COUNTS = (100, 1_000) if SMOKE else (100, 1_000, 10_000)
+BATCH_SIZES = (64, 256) if SMOKE else (64, 256, 1_024)
 
 
 def make_opinions(num_ballots):
@@ -81,9 +85,11 @@ def test_batched_consensus_message_reduction(benchmark, results_sink):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     save("batched_consensus", rows)
     show("Batched vs per-ballot Vote Set Consensus (Nv = 4)", rows)
-    # Acceptance criterion: >= 5x fewer consensus messages at 10k ballots.
-    at_10k = [row for row in rows if row["num_ballots"] == 10_000]
-    assert at_10k and all(row["message_reduction"] >= 5.0 for row in at_10k)
+    # Acceptance criterion: >= 5x fewer consensus messages at the largest
+    # electorate of the sweep (10k ballots; 1k in smoke mode).
+    largest = max(BALLOT_COUNTS)
+    at_largest = [row for row in rows if row["num_ballots"] == largest]
+    assert at_largest and all(row["message_reduction"] >= 5.0 for row in at_largest)
     # Larger batches never send more messages.
     for num_ballots in BALLOT_COUNTS:
         series = [r["batched_messages"] for r in rows if r["num_ballots"] == num_ballots]

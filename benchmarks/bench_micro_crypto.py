@@ -17,7 +17,11 @@ from repro.crypto.shamir import ShamirSecretSharing
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.symmetric import VoteCodeCipher, commit_vote_code, random_vote_code
 from repro.crypto.utils import RandomSource
-from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier, fiat_shamir_challenge
+from repro.crypto.zkp import (
+    BallotCorrectnessProver,
+    BallotCorrectnessVerifier,
+    fiat_shamir_challenge,
+)
 
 GROUP = SchnorrGroup()
 ELGAMAL = LiftedElGamal(GROUP)

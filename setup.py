@@ -1,4 +1,31 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
-from setuptools import setup
+"""Packaging for the D-DEMOS reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so offline environments
+without the ``wheel`` package can still ``pip install -e .``.  Test
+dependencies are declared once here -- CI and developers both install them
+with ``pip install -e .[test]``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="d-demos-repro",
+    version="0.3.0",
+    description=(
+        "Reproduction of D-DEMOS, a distributed, privacy-preserving and "
+        "end-to-end verifiable e-voting system (ICDCS 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+        "lint": [
+            "ruff",
+        ],
+    },
+)

@@ -5,11 +5,12 @@ voter privacy (Theorem 4).
 
 from repro.analysis.liveness import LivenessBound, TimeBound, liveness_table, twait
 from repro.analysis.verification import (
+    batch_soundness_error,
     e2e_verifiability_error,
     fraud_undetected_probability,
+    receipt_probability_lower_bound,
     safety_failure_probability,
     safety_failure_probability_union,
-    receipt_probability_lower_bound,
 )
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "TimeBound",
     "liveness_table",
     "twait",
+    "batch_soundness_error",
     "e2e_verifiability_error",
     "fraud_undetected_probability",
     "safety_failure_probability",

@@ -65,6 +65,23 @@ def fraud_undetected_probability(num_auditors: int) -> float:
     return 2.0 ** (-num_auditors)
 
 
+def batch_soundness_error(security_bits: int, num_equations: int = 1) -> float:
+    """Soundness error of randomized small-exponent batch verification.
+
+    One aggregated equation with independent ``security_bits``-wide random
+    exponents accepts a batch containing at least one invalid item with
+    probability at most ``2^-security_bits`` (small-exponent batching, the
+    Schwartz-Zippel argument in the exponent).  An audit that evaluates
+    ``num_equations`` such equations (chunks plus bisection steps) fails to
+    flag a forged proof with probability at most the union bound
+    ``num_equations * 2^-security_bits`` -- at the default 64 bits and a
+    million equations that is still below ``10^-13``.
+    """
+    if security_bits < 1 or num_equations < 0:
+        raise ValueError("invalid batch verification parameters")
+    return min(1.0, num_equations * 2.0 ** (-security_bits))
+
+
 def receipt_probability_lower_bound(patience_windows: int) -> float:
     """Theorem 1, condition 2 (re-exported here for convenience)."""
     from repro.analysis.liveness import receipt_probability_lower_bound as bound

@@ -14,9 +14,9 @@ efficiency.  This package provides:
   "binary consensus in batches of arbitrary size".
 """
 
-from repro.consensus.interfaces import ConsensusMessage, BVal, Aux, Finish, DecisionCallback
-from repro.consensus.bracha import BinaryConsensusInstance
 from repro.consensus.batching import BatchEnvelope, ConsensusBatcher
+from repro.consensus.bracha import BinaryConsensusInstance
+from repro.consensus.interfaces import Aux, BVal, ConsensusMessage, DecisionCallback, Finish
 
 __all__ = [
     "ConsensusMessage",

@@ -27,11 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.consensus.batching import (
-    SuperblockConsensus,
-    partition_serials,
-    superblock_id,
-)
+from repro.consensus.batching import SuperblockConsensus, partition_serials, superblock_id
 from repro.consensus.bracha import BinaryConsensusInstance
 from repro.consensus.interfaces import ConsensusMessage
 

@@ -3,15 +3,15 @@ Trustees, Voters and Auditors, plus a coordinator that runs complete elections
 on the discrete-event network simulator.
 """
 
-from repro.core.election import ElectionParameters, FaultThresholds
-from repro.core.ballot import Ballot, BallotPart, BallotLine
-from repro.core.ea import ElectionAuthority, ElectionSetup
-from repro.core.vote_collector import VoteCollectorNode
-from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
-from repro.core.trustee import Trustee
-from repro.core.voter import VoterClient
 from repro.core.auditor import Auditor, AuditReport
+from repro.core.ballot import Ballot, BallotLine, BallotPart
+from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
 from repro.core.coordinator import ElectionCoordinator, ElectionOutcome
+from repro.core.ea import ElectionAuthority, ElectionSetup
+from repro.core.election import ElectionParameters, FaultThresholds
+from repro.core.trustee import Trustee
+from repro.core.vote_collector import VoteCollectorNode
+from repro.core.voter import VoterClient
 
 __all__ = [
     "ElectionParameters",

@@ -17,6 +17,18 @@ g) the openings of the unused ballot parts are consistent with the ones
 
 As the number of independent auditors grows, the probability that election
 fraud goes undetected shrinks exponentially (1/2 per audited ballot).
+
+Two execution strategies produce identical verdicts for checks (a)-(g):
+
+* :meth:`Auditor.audit` -- the reference implementation, verifying every
+  opening and proof one at a time;
+* :meth:`Auditor.verify_all` -- the production path: randomized batch
+  verification (:mod:`repro.crypto.batch_verify`) over a chunked process
+  pool (:mod:`repro.perf.parallel`), with failing batches bisected so the
+  report still names the exact culprit ballots, and per-phase wall-clock
+  timings.  It additionally performs check (h) -- the published tally must
+  open the homomorphic combination of the cast commitments -- so it can
+  fail a board the reference audit would pass.
 """
 
 from __future__ import annotations
@@ -26,10 +38,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
 from repro.core.election import ElectionParameters
+from repro.core.tally import combine_tally_commitments, open_tally_parallel
 from repro.core.voter import VoterAuditInfo
+from repro.crypto.batch_verify import (
+    DEFAULT_SECURITY_BITS,
+    BatchVerifier,
+    OpeningBatchTask,
+    OpeningItem,
+    ProofBatchTask,
+    ProofItem,
+    merge_outcomes,
+)
 from repro.crypto.commitments import OptionEncodingScheme
 from repro.crypto.group import Group
 from repro.crypto.zkp import BallotCorrectnessVerifier
+from repro.perf.parallel import ParallelConfig, parallel_chunk_map
+from repro.perf.phases import PhaseRecorder
 
 
 @dataclass
@@ -38,6 +62,8 @@ class AuditReport:
 
     checks: Dict[str, bool] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
+    #: measured wall-clock seconds per audit phase (verify_all only)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -58,9 +84,11 @@ class Auditor:
         bb_nodes: Sequence[BulletinBoardNode],
         params: ElectionParameters,
         group: Group,
+        security_bits: int = DEFAULT_SECURITY_BITS,
     ):
         self.params = params
         self.group = group
+        self.security_bits = security_bits
         self.reader = MajorityReader(bb_nodes, params)
         # Any single honest node's static init data equals the majority's; we
         # still fetch the pieces we verify through the majority reader.
@@ -71,6 +99,24 @@ class Auditor:
     def audit(self, delegations: Sequence[VoterAuditInfo] = ()) -> AuditReport:
         """Run checks (a)-(e), plus (f)-(g) for any delegating voters."""
         report = AuditReport()
+        published = self._read_published(report)
+        if published is None:
+            return report
+        vote_set, decrypted, result = published
+
+        commitment_key = self.reader.read(lambda node: node.init.commitment_public_key)
+        scheme = OptionEncodingScheme(self.params.num_options, commitment_key, self.group)
+        verifier = BallotCorrectnessVerifier(commitment_key, self.group)
+
+        self._structural_checks(report, vote_set, decrypted)
+        self._check_openings(report, scheme, result)
+        self._check_proofs(report, verifier, result)
+        for info in delegations:
+            self.verify_delegation(info, report, vote_set, result)
+        return report
+
+    def _read_published(self, report: AuditReport):
+        """Majority-read the published end-of-election state, or record not-ready."""
         vote_set = self.reader.read(lambda node: node.accepted_vote_set)
         decrypted = self.reader.read(lambda node: node.decrypted_vote_codes)
         result = self.reader.read(
@@ -78,21 +124,149 @@ class Auditor:
         )
         if vote_set is None or result is None:
             report.record("bb-ready", False, "BB has not published the final data yet")
-            return report
+            return None
         report.record("bb-ready", True)
+        return vote_set, decrypted, result
 
-        commitment_key = self.reader.read(lambda node: node.init.commitment_public_key)
-        scheme = OptionEncodingScheme(self.params.num_options, commitment_key, self.group)
-        verifier = BallotCorrectnessVerifier(commitment_key, self.group)
-
+    def _structural_checks(self, report, vote_set, decrypted) -> Dict[int, Tuple[str, int]]:
+        """Checks (a)-(c); returns the cast locations (c) derives."""
         self._check_unique_vote_codes(report, decrypted)
         self._check_single_submission(report, vote_set)
-        self._check_single_part_used(report, vote_set, decrypted)
-        self._check_openings(report, scheme, result)
-        self._check_proofs(report, verifier, result)
-        for info in delegations:
-            self.verify_delegation(info, report, vote_set, result)
+        return self._check_single_part_used(report, vote_set, decrypted)
+
+    # -- batched / parallel audit -------------------------------------------------
+
+    def verify_all(
+        self,
+        delegations: Sequence[VoterAuditInfo] = (),
+        parallel: Optional[ParallelConfig] = None,
+    ) -> AuditReport:
+        """Run the full audit with batch verification and optional parallelism.
+
+        Performs the same checks (a)-(g) as :meth:`audit` -- batch-verifying
+        the openings of (d) and the proofs of (e) chunk-wise over
+        ``parallel`` workers -- plus check (h): the published tally must open
+        the homomorphic combination of the cast rows' commitments.  Phase
+        durations land in ``report.timings``.
+        """
+        parallel = parallel or ParallelConfig()
+        recorder = PhaseRecorder()
+        report = AuditReport()
+        with recorder.phase("read_bb"):
+            published = self._read_published(report)
+        if published is None:
+            report.timings = recorder.as_dict()
+            return report
+        vote_set, decrypted, result = published
+        commitment_key = self.reader.read(lambda node: node.init.commitment_public_key)
+        scheme = OptionEncodingScheme(self.params.num_options, commitment_key, self.group)
+        ballots = self.reader.read(lambda node: node.init.ballots)
+
+        with recorder.phase("structural"):
+            cast_locations = self._structural_checks(report, vote_set, decrypted)
+        with recorder.phase("openings"):
+            self._check_openings_batched(report, scheme, result, ballots, parallel)
+        with recorder.phase("proofs"):
+            self._check_proofs_batched(report, commitment_key, result, ballots, parallel)
+        with recorder.phase("tally"):
+            self._check_tally_opening(report, scheme, result, ballots, cast_locations, parallel)
+        with recorder.phase("delegations"):
+            for info in delegations:
+                self.verify_delegation(info, report, vote_set, result)
+        report.timings = recorder.as_dict()
         return report
+
+    def _check_openings_batched(self, report, scheme, result, ballots, parallel) -> None:
+        """(d) batched: one randomized equation per chunk, bisected on failure."""
+        labels: List[Tuple[int, str]] = []
+        items: List[OpeningItem] = []
+        for (serial, part), openings in sorted(result.openings.items()):
+            rows = ballots[serial].rows[part]
+            if len(openings) != len(rows):
+                report.record("d-openings-complete", False, f"ballot {serial} part {part}")
+                continue
+            for row, opening in zip(rows, openings):
+                labels.append((serial, part))
+                items.append(OpeningItem(row.commitment, opening))
+                report.record(
+                    "d-openings-are-unit-vectors",
+                    scheme.is_valid_option_encoding(opening),
+                    f"ballot {serial} part {part}: opening is not a unit vector",
+                )
+        if not items:
+            return
+        task = OpeningBatchTask(scheme.public_key, self.security_bits)
+        merged = merge_outcomes(parallel_chunk_map(task, items, parallel))
+        if merged.ok:
+            report.record("d-valid-openings", True)
+            return
+        for index in merged.bad_indices:
+            serial, part = labels[index]
+            report.record("d-valid-openings", False, f"ballot {serial} part {part}: bad opening")
+
+    def _check_proofs_batched(self, report, commitment_key, result, ballots, parallel) -> None:
+        """(e) batched: aggregate all Sigma-OR equations, bisect on failure."""
+        labels: List[Tuple[int, str]] = []
+        items: List[ProofItem] = []
+        for (serial, part), responses in sorted(result.proof_responses.items()):
+            rows = ballots[serial].rows[part]
+            if len(responses) != len(rows):
+                report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
+                continue
+            for row, response in zip(rows, responses):
+                if row.proof_announcement is None:
+                    report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
+                    continue
+                labels.append((serial, part))
+                items.append(
+                    ProofItem(row.commitment, row.proof_announcement, result.challenge, response)
+                )
+        if not items:
+            return
+        task = ProofBatchTask(commitment_key, self.security_bits)
+        merged = merge_outcomes(parallel_chunk_map(task, items, parallel))
+        if merged.ok:
+            report.record("e-proofs-valid", True)
+            return
+        for index in merged.bad_indices:
+            serial, part = labels[index]
+            report.record("e-proofs-valid", False, f"ballot {serial} part {part}: invalid proof")
+
+    def _check_tally_opening(
+        self, report, scheme, result, ballots, cast_locations, parallel
+    ) -> None:
+        """(h) the published tally opens the combined cast commitments."""
+        commitments = [
+            ballots[serial].rows[part][row_index].commitment
+            for serial, (part, row_index) in sorted(cast_locations.items())
+        ]
+        if not commitments:
+            # Nothing was cast; the tally must be all zeros.
+            report.record(
+                "h-tally-opening",
+                result.tally.total_votes == 0,
+                "votes tallied although no cast row exists",
+            )
+            return
+        if result.tally_opening is None:
+            report.record("h-tally-opening", False, "tally opening not published")
+            return
+        combined = combine_tally_commitments(scheme, commitments, parallel=parallel)
+        verifier = BatchVerifier(self.group, self.security_bits)
+        try:
+            reopened = open_tally_parallel(
+                scheme, combined, result.tally_opening, self.params.options, verifier
+            )
+        except ValueError:
+            report.record(
+                "h-tally-opening", False, "tally opening does not match the cast commitments"
+            )
+            return
+        report.record(
+            "h-tally-opening",
+            reopened.counts == result.tally.counts,
+            "published counts differ from the reopened tally",
+        )
 
     # -- individual checks --------------------------------------------------------
 
@@ -131,6 +305,9 @@ class Auditor:
         ballots = self.reader.read(lambda node: node.init.ballots)
         for (serial, part), openings in result.openings.items():
             rows = ballots[serial].rows[part]
+            if len(openings) != len(rows):
+                report.record("d-openings-complete", False, f"ballot {serial} part {part}")
+                continue
             for row, opening in zip(rows, openings):
                 ok = scheme.verify_opening(row.commitment, opening)
                 report.record(

@@ -66,6 +66,9 @@ class PublishedResult:
     openings: Dict[Tuple[int, str], Tuple[CommitmentOpening, ...]]
     #: (serial, part) -> tuple of per-row proof responses, for used parts
     proof_responses: Dict[Tuple[int, str], Tuple[BallotProofResponse, ...]]
+    #: reconstructed opening of the homomorphic tally total, so any auditor
+    #: can re-verify the published counts against the combined commitment
+    tally_opening: Optional[CommitmentOpening] = None
 
 
 class BulletinBoardNode(SimNode):
@@ -255,6 +258,7 @@ class BulletinBoardNode(SimNode):
             options=tuple(self.params.options),
             total_votes=0,
         )
+        tally_opening: Optional[CommitmentOpening] = None
         if tally_commitments and all(submission.tally_value_shares for submission in submissions):
             values, randomness = [], []
             for coord in range(self.params.num_options):
@@ -269,12 +273,14 @@ class BulletinBoardNode(SimNode):
             opening = CommitmentOpening(tuple(values), tuple(randomness))
             combined = combine_tally_commitments(self.scheme, tally_commitments)
             tally = open_tally(self.scheme, combined, opening, self.params.options)
+            tally_opening = opening
 
         self.result = PublishedResult(
             tally=tally,
             challenge=challenge,
             openings=openings,
             proof_responses=proof_responses,
+            tally_opening=tally_opening,
         )
 
     def _assemble_proof_response(self, components: Mapping[str, int]) -> BallotProofResponse:

@@ -23,7 +23,6 @@ examples can demonstrate that the protocol guarantees survive them:
 
 from __future__ import annotations
 
-
 from repro.core.bulletin_board import BulletinBoardNode
 from repro.core.messages import Announce, Endorse, Endorsement, VotePending
 from repro.core.trustee import Trustee, TrusteeSubmission

@@ -34,6 +34,7 @@ from repro.crypto.group import Group, default_group
 from repro.crypto.utils import RandomSource
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.simulator import Network
+from repro.perf.parallel import ParallelConfig
 
 
 @dataclass
@@ -72,6 +73,13 @@ class ElectionOutcome:
     def all_receipts_valid(self) -> bool:
         """Whether every obtained receipt matched the ballot's printed receipt."""
         return all(voter.receipt_valid for voter in self.voters if voter.receipt is not None)
+
+    @property
+    def audit_timings(self) -> Dict[str, float]:
+        """Measured per-phase audit durations (empty for the per-item path)."""
+        if self.audit_report is None:
+            return {}
+        return dict(self.audit_report.timings)
 
     def expected_tally(self) -> TallyResult:
         """The plaintext tally implied by the voters' intended choices."""
@@ -206,10 +214,25 @@ class ElectionCoordinator:
             return None
 
     def run_audit(self) -> AuditReport:
-        """Phase 4: an independent auditor verifies the whole election."""
-        auditor = Auditor(self.bb_nodes, self.params, self.group)
+        """Phase 4: an independent auditor verifies the whole election.
+
+        With ``params.batch_audit`` (the default) the openings and proofs
+        are batch-verified across ``params.audit_workers`` processes; the
+        per-item reference audit remains available by turning the flag off.
+        """
+        auditor = Auditor(
+            self.bb_nodes,
+            self.params,
+            self.group,
+            security_bits=self.params.batch_security_bits,
+        )
         delegations = [voter.audit_info() for voter in self.voters if voter.receipt is not None]
-        return auditor.audit(delegations)
+        if not self.params.batch_audit:
+            return auditor.audit(delegations)
+        # base_seed stays None: the batching exponents must be unpredictable
+        # to whoever produced the proofs, or the 2^-bits soundness bound dies.
+        parallel = ParallelConfig(workers=self.params.audit_workers)
+        return auditor.verify_all(delegations, parallel=parallel)
 
     # -- one-call entry point -----------------------------------------------------
 

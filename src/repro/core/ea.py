@@ -26,14 +26,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.ballot import (
+    PART_A,
+    PART_B,
+    PARTS,
     Ballot,
     BallotLine,
     BallotPart,
     BbBallotRow,
     BbBallotView,
-    PART_A,
-    PART_B,
-    PARTS,
     TrusteeBallotRow,
     TrusteeBallotView,
     VcBallotRow,

@@ -12,7 +12,7 @@ whose sizes and fault thresholds must satisfy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,16 @@ class ElectionParameters:
     #: consensus instance per ballot; B > 1 decides B ballots per instance
     #: (falling back to per-ballot consensus for blocks with disagreement).
     consensus_batch_size: int = 1
+    #: End-of-election audit strategy: True verifies openings/proofs with
+    #: randomized batch equations (`repro.crypto.batch_verify`), False runs
+    #: the per-item reference audit.
+    batch_audit: bool = True
+    #: Process-pool workers for the audit/tally phase (1 = in-process serial,
+    #: None = one per CPU core).
+    audit_workers: Optional[int] = 1
+    #: Bit width of the random batching exponents; the probability that a
+    #: forged proof survives one batched equation is 2^-batch_security_bits.
+    batch_security_bits: int = 64
 
     def __post_init__(self) -> None:
         if len(self.options) < 2:
@@ -85,6 +95,10 @@ class ElectionParameters:
             raise ValueError("election must end after it starts")
         if self.consensus_batch_size < 1:
             raise ValueError("consensus batch size must be at least 1")
+        if self.audit_workers is not None and self.audit_workers < 1:
+            raise ValueError("audit workers must be at least 1 (or None for all cores)")
+        if not 8 <= self.batch_security_bits <= 128:
+            raise ValueError("batch security parameter must be between 8 and 128 bits")
         self.thresholds.validate()
 
     @property
@@ -110,6 +124,8 @@ class ElectionParameters:
         trustee_threshold: int = 2,
         election_end: float = 1_000.0,
         consensus_batch_size: int = 1,
+        batch_audit: bool = True,
+        audit_workers: Optional[int] = 1,
     ) -> "ElectionParameters":
         """Convenience constructor used heavily by tests and examples."""
         options = [f"option-{i + 1}" for i in range(num_options)]
@@ -120,4 +136,6 @@ class ElectionParameters:
             thresholds=thresholds,
             election_end=election_end,
             consensus_batch_size=consensus_batch_size,
+            batch_audit=batch_audit,
+            audit_workers=audit_workers,
         )

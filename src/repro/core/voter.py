@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.ballot import Ballot, PART_A, PART_B
+from repro.core.ballot import PART_A, PART_B, Ballot
 from repro.core.messages import VoteReceipt, VoteRejected, VoteRequest
 from repro.net.channels import ChannelKind, Message
 from repro.net.simulator import SimNode

@@ -19,11 +19,17 @@ implemented from scratch on top of the Python standard library:
   vote-code encryption layer (SHA-256 CTR substitute for AES-128-CBC$).
 """
 
-from repro.crypto.group import EcGroup, SchnorrGroup, default_group
-from repro.crypto.elgamal import ElGamalKeyPair, ElGamalCiphertext, LiftedElGamal
+from repro.crypto.batch_verify import (
+    BatchOutcome,
+    BatchVerifier,
+    OpeningItem,
+    ProofItem,
+    SignatureItem,
+)
 from repro.crypto.commitments import OptionCommitment, OptionEncodingScheme
-from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier
-from repro.crypto.pedersen_vss import PedersenVSS, PedersenShare
+from repro.crypto.elgamal import ElGamalCiphertext, ElGamalKeyPair, LiftedElGamal
+from repro.crypto.group import EcGroup, SchnorrGroup, default_group
+from repro.crypto.pedersen_vss import PedersenShare, PedersenVSS
 from repro.crypto.shamir import ShamirSecretSharing, SignedShare
 from repro.crypto.signatures import SchnorrKeyPair, SchnorrSignature
 from repro.crypto.symmetric import (
@@ -32,11 +38,17 @@ from repro.crypto.symmetric import (
     commit_vote_code,
     verify_vote_code,
 )
+from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier
 
 __all__ = [
     "EcGroup",
     "SchnorrGroup",
     "default_group",
+    "BatchOutcome",
+    "BatchVerifier",
+    "OpeningItem",
+    "ProofItem",
+    "SignatureItem",
     "ElGamalKeyPair",
     "ElGamalCiphertext",
     "LiftedElGamal",

@@ -111,6 +111,19 @@ class Group:
     #: order of the group (a prime)
     order: int
 
+    def __getstate__(self) -> dict:
+        """Pickle without the precomputation caches.
+
+        Group elements carry a ``group`` reference, so every chunk shipped to
+        a worker process would otherwise re-serialize hundreds of kilobytes
+        of fixed-base tables.  The caches are pure accelerators; workers
+        rebuild them lazily on first use.
+        """
+        state = self.__dict__.copy()
+        state.pop("_fixed_base_cache", None)
+        state.pop("_base_use_counts", None)
+        return state
+
     def generator(self) -> GroupElement:
         """Return the fixed generator ``g``."""
         raise NotImplementedError

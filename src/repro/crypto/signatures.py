@@ -27,10 +27,19 @@ class SchnorrKeyPair:
 
 @dataclass(frozen=True)
 class SchnorrSignature:
-    """A Schnorr signature ``(challenge, response)``."""
+    """A Schnorr signature ``(challenge, response)``.
+
+    ``commitment`` carries the nonce commitment ``R = g^k`` the challenge was
+    derived from.  It is redundant (verification recomputes it) and excluded
+    from the wire format, but keeping it lets
+    :mod:`repro.crypto.batch_verify` check ``g^s == R * X^c`` for many
+    signatures with one multi-exponentiation instead of recomputing every
+    ``R`` individually.
+    """
 
     challenge: int
     response: int
+    commitment: Optional[GroupElement] = None
 
     def serialize(self) -> bytes:
         return self.challenge.to_bytes(32, "big") + self.response.to_bytes(32, "big")
@@ -65,7 +74,7 @@ class SignatureScheme:
             message,
         )
         response = (nonce + challenge * keys.secret) % self.group.order
-        return SchnorrSignature(challenge, response)
+        return SchnorrSignature(challenge, response, commitment)
 
     def verify(
         self, public: GroupElement, message: bytes, signature: SchnorrSignature

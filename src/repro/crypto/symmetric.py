@@ -24,12 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.crypto.utils import (
-    RandomSource,
-    constant_time_equals,
-    default_random,
-    sha256,
-)
+from repro.crypto.utils import RandomSource, constant_time_equals, default_random, sha256
 
 #: Bit lengths prescribed by the paper.
 VOTE_CODE_BITS = 160

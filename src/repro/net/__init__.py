@@ -8,10 +8,10 @@ an in-process, deterministic discrete-event simulator so protocol executions
 are reproducible and the adversary is programmable.
 """
 
-from repro.net.clock import GlobalClock, NodeClock
-from repro.net.channels import Message, Channel
-from repro.net.simulator import Network, SimNode, Event
 from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.channels import Channel, Message
+from repro.net.clock import GlobalClock, NodeClock
+from repro.net.simulator import Event, Network, SimNode
 
 __all__ = [
     "GlobalClock",

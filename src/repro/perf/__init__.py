@@ -12,18 +12,30 @@ package reproduces the evaluation with a calibrated *performance model*:
 * :mod:`repro.perf.loadsim`  -- a closed-loop discrete-event simulation of the
   vote-collection protocol under ``cc`` concurrent clients, producing the
   throughput and latency numbers behind Figures 4a-4f, 5a and 5b.
-* :mod:`repro.perf.phases`   -- the phase-duration model behind Figure 5c.
+* :mod:`repro.perf.phases`   -- the phase-duration model behind Figure 5c,
+  plus the :class:`PhaseRecorder` measuring the real audit/tally phases.
+* :mod:`repro.perf.parallel` -- the chunked process-pool scheduler the
+  end-of-election audit and tally fan out over.
 
 Absolute numbers are not expected to match the authors' testbed; the curve
 shapes (who wins, where the knees are) are the reproduction target, as stated
 in DESIGN.md and EXPERIMENTS.md.
 """
 
-from repro.perf.costmodel import CryptoCosts, DatabaseCosts, MachineSpec, NetworkProfile, CostModel
+from repro.perf.costmodel import (
+    AuditCosts,
+    CostModel,
+    CryptoCosts,
+    DatabaseCosts,
+    MachineSpec,
+    NetworkProfile,
+)
 from repro.perf.loadsim import LoadResult, VoteCollectionLoadSimulator
-from repro.perf.phases import PhaseDurations, phase_breakdown
+from repro.perf.parallel import ParallelConfig, parallel_map, parallel_reduce
+from repro.perf.phases import PhaseDurations, PhaseRecorder, phase_breakdown
 
 __all__ = [
+    "AuditCosts",
     "CryptoCosts",
     "DatabaseCosts",
     "MachineSpec",
@@ -31,6 +43,10 @@ __all__ = [
     "CostModel",
     "LoadResult",
     "VoteCollectionLoadSimulator",
+    "ParallelConfig",
+    "parallel_map",
+    "parallel_reduce",
     "PhaseDurations",
+    "PhaseRecorder",
     "phase_breakdown",
 ]

@@ -1,0 +1,203 @@
+"""Chunked process-pool work scheduler for the end-of-election phases.
+
+BB reconstruction, auditor re-verification and tally opening are
+embarrassingly parallel: the work is a large list of independent checks
+(signatures, commitment openings, zero-knowledge proofs) or an associative
+reduction (the homomorphic tally product).  This module provides the one
+scheduling primitive all of them share:
+
+* :func:`parallel_map` / :func:`parallel_chunk_map` -- order-preserving maps
+  over a ``ProcessPoolExecutor``, with a **deterministic serial fallback**
+  when the input is small (the pool's fork/pickle overhead dwarfs the work)
+  or when ``workers == 1``;
+* :func:`parallel_reduce` -- a chunked tree reduction for associative
+  operators (each worker folds one chunk; the parent folds the partials);
+* :func:`chunk_seeds` -- deterministic per-chunk RNG seeds, so randomized
+  work (e.g. the small exponents of batch verification) is reproducible for
+  a fixed ``(base_seed, chunk_size)`` regardless of the worker count.
+
+Workers receive *chunks*, not single items, so pickling cost is paid once
+per chunk; callables handed to the process path must be module-level
+functions (the usual pickle restriction).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.crypto.utils import default_random, sha256
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Inputs smaller than this run serially even when workers were requested;
+#: forking and pickling a pool costs more than verifying this many items.
+DEFAULT_SERIAL_THRESHOLD = 64
+
+#: Upper bound on the chunk size the auto-chunker picks.  Independent of the
+#: worker count so chunk boundaries (and therefore per-chunk RNG seeds) do
+#: not move when the same job runs on different machines.
+DEFAULT_MAX_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to schedule one parallel job.
+
+    ``workers=1`` (the default) always runs serially in-process, which is
+    also the deterministic reference the tests compare the pool against.
+    ``workers=None`` asks for one worker per CPU.
+    """
+
+    workers: Optional[int] = 1
+    chunk_size: Optional[int] = None
+    serial_threshold: int = DEFAULT_SERIAL_THRESHOLD
+    #: root of the per-chunk RNG seeds.  ``None`` (the default) draws a fresh
+    #: unpredictable root per job -- REQUIRED when chunk randomness has an
+    #: adversary (the batched audit: a prover who can predict the batching
+    #: exponents can craft forgeries that cancel in the aggregate).  Set an
+    #: explicit value only to reproduce a run, e.g. in tests and benchmarks.
+    base_seed: Optional[int] = None
+
+    def resolved_workers(self) -> int:
+        if self.workers is None:
+            return max(os.cpu_count() or 1, 1)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        return self.workers
+
+    def resolved_chunk_size(self, num_items: int) -> int:
+        if self.chunk_size is not None:
+            if self.chunk_size < 1:
+                raise ValueError("chunk size must be at least 1")
+            return self.chunk_size
+        if num_items <= 0:
+            return 1
+        return min(DEFAULT_MAX_CHUNK, max(1, num_items))
+
+    def use_serial(self, num_items: int) -> bool:
+        """Deterministic fallback: small inputs and 1-worker jobs stay serial."""
+        return self.resolved_workers() == 1 or num_items < self.serial_threshold
+
+
+def split_chunks(items: Sequence[ItemT], chunk_size: int) -> List[Sequence[ItemT]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError("chunk size must be at least 1")
+    return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
+
+
+def chunk_seeds(base_seed: Optional[int], num_chunks: int) -> List[int]:
+    """Derive one 64-bit RNG seed per chunk.
+
+    With an explicit ``base_seed``, seeds depend only on ``(base_seed, chunk
+    index)``, so a job re-run with a different worker count (chunks land on
+    different processes) draws the same randomness per chunk.  With
+    ``base_seed=None`` a fresh unpredictable root is drawn from the system
+    RNG for this job (the secure default for adversarial randomness).
+    """
+    if base_seed is None:
+        base_seed = default_random().randbits(120)
+    # Accept any int (callers may pass a full digest or a negative hash) by
+    # folding it into the 128-bit field the derivation hashes.
+    base_seed %= 1 << 128
+    seeds = []
+    for index in range(num_chunks):
+        digest = sha256(
+            b"d-demos-chunk-seed",
+            base_seed.to_bytes(16, "big", signed=False),
+            index.to_bytes(8, "big"),
+        )
+        seeds.append(int.from_bytes(digest[:8], "big"))
+    return seeds
+
+
+def parallel_chunk_map(
+    chunk_fn: Callable[[Sequence[ItemT], int], ResultT],
+    items: Sequence[ItemT],
+    config: Optional[ParallelConfig] = None,
+) -> List[ResultT]:
+    """Apply ``chunk_fn(chunk, chunk_seed)`` to every chunk, in order.
+
+    This is the workhorse behind both :func:`parallel_map` and the batched
+    audit: the caller's function sees a whole chunk at once (so it can run
+    one batched check over it) plus that chunk's deterministic seed.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    if not items:
+        return []
+    chunk_size = config.resolved_chunk_size(len(items))
+    chunks = split_chunks(items, chunk_size)
+    seeds = chunk_seeds(config.base_seed, len(chunks))
+    if config.use_serial(len(items)):
+        return [chunk_fn(chunk, seed) for chunk, seed in zip(chunks, seeds)]
+    workers = min(config.resolved_workers(), len(chunks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_call_chunk, [(chunk_fn, c, s) for c, s in zip(chunks, seeds)]))
+
+
+def _call_chunk(
+    packed: Tuple[Callable[[Sequence[ItemT], int], ResultT], Sequence[ItemT], int],
+) -> ResultT:
+    """Module-level trampoline: ``pool.map`` needs a top-level function."""
+    chunk_fn, chunk, seed = packed
+    return chunk_fn(chunk, seed)
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    config: Optional[ParallelConfig] = None,
+) -> List[ResultT]:
+    """Order-preserving map of ``fn`` over ``items`` (chunked under the hood)."""
+    per_chunk = parallel_chunk_map(_MapChunk(fn), items, config)
+    return [result for chunk_results in per_chunk for result in chunk_results]
+
+
+@dataclass(frozen=True)
+class _MapChunk:
+    """Picklable adapter turning a per-item function into a chunk function."""
+
+    fn: Callable
+
+    def __call__(self, chunk: Sequence, seed: int) -> list:
+        return [self.fn(item) for item in chunk]
+
+
+def parallel_reduce(
+    combine: Callable[[ResultT, ResultT], ResultT],
+    items: Sequence[ResultT],
+    config: Optional[ParallelConfig] = None,
+) -> ResultT:
+    """Fold ``items`` with an associative ``combine`` as a chunked tree.
+
+    Each chunk is folded where it lives (in a worker on the process path),
+    then the per-chunk partials are folded serially in the parent -- the
+    shape of the homomorphic tally product over the cast commitments.
+    Raises ``ValueError`` on empty input (there is no identity to return).
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("cannot reduce an empty sequence")
+    partials = parallel_chunk_map(_ReduceChunk(combine), items, config)
+    total = partials[0]
+    for partial in partials[1:]:
+        total = combine(total, partial)
+    return total
+
+
+@dataclass(frozen=True)
+class _ReduceChunk:
+    """Picklable adapter folding one chunk with the caller's operator."""
+
+    combine: Callable
+
+    def __call__(self, chunk: Sequence, seed: int):
+        total = chunk[0]
+        for item in chunk[1:]:
+            total = self.combine(total, item)
+        return total

@@ -20,10 +20,45 @@ n = 200,000 ballots, m = 4 options, disk-backed storage):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.perf.costmodel import CostModel, DatabaseCosts
+
+
+@dataclass
+class PhaseRecorder:
+    """Measured wall-clock durations of named phases.
+
+    Where :func:`phase_breakdown` *models* the post-election phases, this
+    records what actually happened: the audit/tally pipeline wraps each of
+    its stages in :meth:`phase` and attaches the resulting dictionary to the
+    audit report, so the benchmarks and the coordinator can report measured
+    per-phase seconds next to the modelled ones.  Re-entering a name
+    accumulates (a phase may be split across loop iterations).
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and accumulate it under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the accumulated ``{phase name: seconds}`` mapping."""
+        return dict(self.timings)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.timings.values())
 
 
 @dataclass(frozen=True)

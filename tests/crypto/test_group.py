@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.crypto.group import (
-    EcGroup,
-    FixedBasePrecomputation,
-    SchnorrFixedBase,
-    SchnorrGroup,
-    default_group,
-)
+from repro.crypto.group import EcGroup, FixedBasePrecomputation, SchnorrFixedBase, default_group
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.shamir import Share, ShamirSecretSharing, SignedShare, SigningDealer
+from repro.crypto.shamir import ShamirSecretSharing, Share, SignedShare, SigningDealer
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.utils import RandomSource
 

@@ -1,0 +1,120 @@
+"""Tests for the chunked process-pool scheduler."""
+
+import operator
+
+import pytest
+
+from repro.perf.parallel import (
+    DEFAULT_MAX_CHUNK,
+    ParallelConfig,
+    chunk_seeds,
+    parallel_chunk_map,
+    parallel_map,
+    parallel_reduce,
+    split_chunks,
+)
+
+
+def square(value):
+    """Module-level so the process-pool path can pickle it."""
+    return value * value
+
+
+def chunk_sum_with_seed(chunk, seed):
+    """Module-level chunk function recording the seed it was handed."""
+    return (sum(chunk), seed)
+
+
+class TestConfig:
+    def test_one_worker_is_always_serial(self):
+        config = ParallelConfig(workers=1)
+        assert config.use_serial(1_000_000)
+
+    def test_small_inputs_fall_back_to_serial(self):
+        config = ParallelConfig(workers=8, serial_threshold=64)
+        assert config.use_serial(63)
+        assert not config.use_serial(64)
+
+    def test_none_workers_means_all_cores(self):
+        assert ParallelConfig(workers=None).resolved_workers() >= 1
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0).resolved_workers()
+
+    def test_auto_chunk_size_is_bounded_and_machine_independent(self):
+        config = ParallelConfig(workers=None)
+        assert config.resolved_chunk_size(10_000) == DEFAULT_MAX_CHUNK
+        assert config.resolved_chunk_size(10) == 10
+
+    def test_explicit_chunk_size_wins(self):
+        assert ParallelConfig(chunk_size=7).resolved_chunk_size(10_000) == 7
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0).resolved_chunk_size(10)
+
+
+class TestChunking:
+    def test_split_chunks_covers_everything_in_order(self):
+        chunks = split_chunks(list(range(10)), 3)
+        assert [list(c) for c in chunks] == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_chunk_seeds_are_deterministic_and_distinct(self):
+        seeds = chunk_seeds(42, 8)
+        assert seeds == chunk_seeds(42, 8)
+        assert len(set(seeds)) == 8
+        assert chunk_seeds(43, 8) != seeds
+
+    def test_seeds_do_not_depend_on_worker_count(self):
+        """Chunk boundaries come from chunk_size, seeds from the index, so a
+        re-run with more workers sees identical (chunk, seed) pairs."""
+        items = list(range(40))
+        serial = parallel_chunk_map(
+            chunk_sum_with_seed, items, ParallelConfig(workers=1, chunk_size=8, base_seed=3)
+        )
+        pooled = parallel_chunk_map(
+            chunk_sum_with_seed,
+            items,
+            ParallelConfig(workers=2, chunk_size=8, serial_threshold=1, base_seed=3),
+        )
+        assert serial == pooled
+
+    def test_default_base_seed_is_unpredictable(self):
+        """Without an explicit base_seed every job draws fresh chunk seeds
+        (the secure default: batching exponents must not be predictable)."""
+        items = list(range(16))
+        config = ParallelConfig(workers=1, chunk_size=4)
+        first = parallel_chunk_map(chunk_sum_with_seed, items, config)
+        second = parallel_chunk_map(chunk_sum_with_seed, items, config)
+        assert [s for s, _ in first] == [s for s, _ in second]  # same chunk sums
+        assert [seed for _, seed in first] != [seed for _, seed in second]
+
+
+class TestMapAndReduce:
+    def test_serial_map_preserves_order(self):
+        assert parallel_map(square, range(20)) == [v * v for v in range(20)]
+
+    def test_empty_input(self):
+        assert parallel_map(square, []) == []
+        assert parallel_chunk_map(chunk_sum_with_seed, []) == []
+
+    def test_process_pool_map_matches_serial(self):
+        items = list(range(100))
+        expected = parallel_map(square, items, ParallelConfig(workers=1))
+        pooled = parallel_map(
+            square, items, ParallelConfig(workers=2, serial_threshold=1, chunk_size=25)
+        )
+        assert pooled == expected
+
+    def test_reduce_matches_serial_fold(self):
+        items = list(range(1, 50))
+        assert parallel_reduce(operator.add, items) == sum(items)
+        assert parallel_reduce(
+            operator.add, items, ParallelConfig(workers=2, serial_threshold=1, chunk_size=7)
+        ) == sum(items)
+
+    def test_reduce_single_item(self):
+        assert parallel_reduce(operator.add, [99]) == 99
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(operator.add, [])

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for batch verification.
+
+The defining property of a sound batch verifier: a batch is accepted if and
+only if every item verifies individually -- and when it is rejected, the
+bisection names exactly the items an individual verifier would reject.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.batch_verify import BatchVerifier, OpeningItem, SignatureItem
+from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
+from repro.crypto.elgamal import LiftedElGamal
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import RandomSource
+from repro.perf.parallel import chunk_seeds
+
+GROUP = SchnorrGroup()
+SIGNER = SignatureScheme(GROUP)
+SIGNING_KEYS = SIGNER.keygen(RandomSource(31))
+ELGAMAL = LiftedElGamal(GROUP)
+COMMITMENT_KEYS = ELGAMAL.keygen(RandomSource(32))
+SCHEME = OptionEncodingScheme(2, COMMITMENT_KEYS.public, GROUP)
+
+BATCH_SIZE = 10
+
+_RNG = RandomSource(33)
+SIGNATURE_ITEMS = tuple(
+    SignatureItem(
+        SIGNING_KEYS.public, f"ballot-{i}".encode(), SIGNER.sign(SIGNING_KEYS, f"ballot-{i}".encode(), _RNG)
+    )
+    for i in range(BATCH_SIZE)
+)
+OPENING_ITEMS = tuple(
+    OpeningItem(*SCHEME.commit_option(i % 2, _RNG)) for i in range(BATCH_SIZE)
+)
+
+relaxed = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def corrupt_signature(item: SignatureItem) -> SignatureItem:
+    return SignatureItem(
+        item.public, item.message, replace(item.signature, response=item.signature.response + 1)
+    )
+
+
+def corrupt_opening(item: OpeningItem) -> OpeningItem:
+    bad = CommitmentOpening(item.opening.values, (item.opening.randomness[0] + 1,) + item.opening.randomness[1:])
+    return OpeningItem(item.commitment, bad)
+
+
+class TestBatchEquivalence:
+    @relaxed
+    @given(corrupted=st.sets(st.integers(min_value=0, max_value=BATCH_SIZE - 1), max_size=3),
+           seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_signature_batch_accepts_iff_all_individuals_accept(self, corrupted, seed):
+        items = [
+            corrupt_signature(item) if index in corrupted else item
+            for index, item in enumerate(SIGNATURE_ITEMS)
+        ]
+        individually_ok = [
+            SIGNER.verify(item.public, item.message, item.signature) for item in items
+        ]
+        verifier = BatchVerifier(GROUP, rng=RandomSource(seed))
+        outcome = verifier.verify_signatures(items)
+        assert outcome.ok == all(individually_ok)
+        assert outcome.bad_indices == tuple(sorted(corrupted))
+
+    @relaxed
+    @given(corrupted=st.sets(st.integers(min_value=0, max_value=BATCH_SIZE - 1), max_size=3),
+           seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_opening_batch_accepts_iff_all_individuals_accept(self, corrupted, seed):
+        items = [
+            corrupt_opening(item) if index in corrupted else item
+            for index, item in enumerate(OPENING_ITEMS)
+        ]
+        individually_ok = [
+            SCHEME.verify_opening(item.commitment, item.opening) for item in items
+        ]
+        verifier = BatchVerifier(GROUP, rng=RandomSource(seed))
+        outcome = verifier.verify_openings(COMMITMENT_KEYS.public, items)
+        assert outcome.ok == all(individually_ok)
+        assert outcome.bad_indices == tuple(sorted(corrupted))
+
+    @relaxed
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32),
+           bits=st.integers(min_value=8, max_value=128))
+    def test_honest_batch_accepts_for_any_security_parameter(self, seed, bits):
+        verifier = BatchVerifier(GROUP, security_bits=bits, rng=RandomSource(seed))
+        assert verifier.verify_signatures(SIGNATURE_ITEMS).ok
+
+
+class TestChunkSeedProperties:
+    @relaxed
+    @given(base=st.integers(min_value=0, max_value=2 ** 64), count=st.integers(min_value=0, max_value=64))
+    def test_seeds_are_stable_and_64_bit(self, base, count):
+        seeds = chunk_seeds(base, count)
+        assert seeds == chunk_seeds(base, count)
+        assert len(seeds) == count
+        assert all(0 <= seed < 2 ** 64 for seed in seeds)

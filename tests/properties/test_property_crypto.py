@@ -9,7 +9,7 @@ from repro.crypto.group import SchnorrGroup
 from repro.crypto.shamir import ShamirSecretSharing
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.symmetric import VoteCodeCipher, commit_vote_code, verify_vote_code
-from repro.crypto.utils import RandomSource, hash_to_scalar, int_to_bytes, bytes_to_int
+from repro.crypto.utils import RandomSource, bytes_to_int, hash_to_scalar, int_to_bytes
 
 GROUP = SchnorrGroup()
 ELGAMAL = LiftedElGamal(GROUP)
