@@ -1,7 +1,8 @@
 """Figures 4c (LAN) and 4f (WAN): throughput vs. the number of concurrent clients.
 
 Paper setup: n = 200,000 ballots, m = 4 options, in-memory election data,
-Nv in {4, 7, 10, 13, 16}, concurrent clients swept from 200 to 2000.
+Nv in {4, 7, 10, 13, 16}, concurrent clients swept from 200 to 2000.  Runs
+are constructed by deriving the experiment's :class:`ScenarioSpec`.
 
 Expected shape: for a given number of VC nodes the delivered throughput is
 nearly constant once the VC subsystem is saturated, regardless of the
@@ -12,19 +13,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.costmodel import CostModel, NetworkProfile
-from repro.perf.loadsim import VoteCollectionLoadSimulator
+from repro.api import NetworkProfile, ScenarioSpec
 
 VC_COUNTS = (4, 7, 10, 13, 16)
 CLIENT_COUNTS = (200, 400, 800, 1200, 1600, 2000)
+
+BASE = ScenarioSpec(
+    options=tuple(f"option-{i + 1}" for i in range(4)),
+    num_voters=4,
+    registered_ballots=200_000,
+    election_id="fig4-cc-scaling",
+    seed=2,
+)
 
 
 def run_sweep(network: NetworkProfile):
     rows = []
     for num_vc in VC_COUNTS:
+        scenario = BASE.derive(num_vc=num_vc, network=network)
         for num_clients in CLIENT_COUNTS:
-            model = CostModel(network=network, num_ballots=200_000, num_options=4)
-            simulator = VoteCollectionLoadSimulator(num_vc, num_clients, model, seed=2)
+            simulator = scenario.load_simulator(num_clients=num_clients)
             result = simulator.run(target_votes=max(1200, num_clients), warmup_votes=200)
             rows.append(result.as_row())
     return rows

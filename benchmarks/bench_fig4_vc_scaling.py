@@ -6,6 +6,10 @@ machines, and 500/1000/1500/2000 closed-loop concurrent clients.  The WAN
 variant injects 25 ms of one-way latency between VC nodes (netem in the
 paper).
 
+Every run is constructed by deriving the experiment's :class:`ScenarioSpec`:
+the spec owns the deployment shape (#VC, electorate, options, storage) and
+the network profile, and hands back a ready load simulator.
+
 Expected shapes (paper vs. this model):
 * latency grows roughly linearly with the number of VC nodes (4a/4d);
 * throughput drops sharply from 4 to 7 VC nodes (~50%), then declines more
@@ -18,23 +22,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.costmodel import CostModel, NetworkProfile
-from repro.perf.loadsim import VoteCollectionLoadSimulator
+from repro.api import NetworkProfile, ScenarioSpec
 
 VC_COUNTS = (4, 7, 10, 13, 16)
 CLIENT_COUNTS = (500, 1000, 1500, 2000)
-NUM_BALLOTS = 200_000
-NUM_OPTIONS = 4
+
+BASE = ScenarioSpec(
+    options=tuple(f"option-{i + 1}" for i in range(4)),
+    num_voters=4,
+    registered_ballots=200_000,
+    election_id="fig4-vc-scaling",
+    seed=1,
+)
 
 
 def run_sweep(network: NetworkProfile):
     rows = []
     for num_vc in VC_COUNTS:
+        scenario = BASE.derive(num_vc=num_vc, network=network)
         for num_clients in CLIENT_COUNTS:
-            model = CostModel(
-                network=network, num_ballots=NUM_BALLOTS, num_options=NUM_OPTIONS
-            )
-            simulator = VoteCollectionLoadSimulator(num_vc, num_clients, model, seed=1)
+            simulator = scenario.load_simulator(num_clients=num_clients)
             result = simulator.run(target_votes=max(1500, num_clients), warmup_votes=300)
             rows.append(result.as_row())
     return rows

@@ -3,7 +3,8 @@
 Paper setup: referendum (m = 2), PostgreSQL-backed election data, 4 VC nodes,
 400 concurrent clients, n swept from 50 million to 250 million ballots
 (the 2012 US voting population was 235 million); 200,000 ballots are cast to
-reach steady state.
+reach steady state.  The sweep derives the ``national_scale`` scenario preset
+with each electorate size.
 
 Expected shape: throughput declines slowly (roughly 2x across the 5x increase
 in electorate size), because the per-vote ballot lookup cost grows with the
@@ -14,22 +15,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.costmodel import CostModel, DatabaseCosts
-from repro.perf.loadsim import VoteCollectionLoadSimulator
+from repro.api import ScenarioSpec
 
 BALLOT_COUNTS = (50_000_000, 100_000_000, 150_000_000, 200_000_000, 250_000_000)
 NUM_CLIENTS = 400
-NUM_VC = 4
-NUM_OPTIONS = 2
+
+BASE = ScenarioSpec.preset("national_scale", election_id="fig5a-ballots", seed=3)
 
 
 def run_sweep():
     rows = []
     for num_ballots in BALLOT_COUNTS:
-        model = CostModel(
-            database=DatabaseCosts(), num_ballots=num_ballots, num_options=NUM_OPTIONS
-        )
-        simulator = VoteCollectionLoadSimulator(NUM_VC, NUM_CLIENTS, model, seed=3)
+        scenario = BASE.derive(registered_ballots=num_ballots)
+        simulator = scenario.load_simulator(num_clients=NUM_CLIENTS)
         result = simulator.run(target_votes=800, warmup_votes=100)
         row = result.as_row()
         row["num_ballots_millions"] = num_ballots // 1_000_000

@@ -1,7 +1,8 @@
 """Figure 5b: vote-collection throughput vs. the number of election options ``m``.
 
 Paper setup: n = 200,000 ballots, PostgreSQL-backed, 4 VC nodes, 400
-concurrent clients, m swept from 2 to 10.
+concurrent clients, m swept from 2 to 10.  Each point derives the
+experiment's :class:`ScenarioSpec` with a different option list.
 
 Expected shape: throughput is roughly flat in m, with only a slight decline
 caused by the extra hash verifications (and row fetches) during vote-code
@@ -12,22 +13,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.costmodel import CostModel, DatabaseCosts
-from repro.perf.loadsim import VoteCollectionLoadSimulator
+from repro.api import ScenarioSpec
 
 OPTION_COUNTS = tuple(range(2, 11))
 NUM_CLIENTS = 400
-NUM_VC = 4
-NUM_BALLOTS = 200_000
+
+BASE = ScenarioSpec(
+    options=("option-1", "option-2"),
+    num_voters=4,
+    registered_ballots=200_000,
+    storage="postgres",
+    election_id="fig5b-options",
+    seed=4,
+)
 
 
 def run_sweep():
     rows = []
     for num_options in OPTION_COUNTS:
-        model = CostModel(
-            database=DatabaseCosts(), num_ballots=NUM_BALLOTS, num_options=num_options
+        scenario = BASE.derive(
+            options=tuple(f"option-{i + 1}" for i in range(num_options))
         )
-        simulator = VoteCollectionLoadSimulator(NUM_VC, NUM_CLIENTS, model, seed=4)
+        simulator = scenario.load_simulator(num_clients=NUM_CLIENTS)
         result = simulator.run(target_votes=800, warmup_votes=100)
         row = result.as_row()
         row["num_options"] = num_options

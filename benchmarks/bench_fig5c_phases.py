@@ -2,7 +2,8 @@
 
 Paper setup: 4 VC nodes, n = 200,000 registered ballots, m = 4 options,
 PostgreSQL-backed; phases measured for 50k / 100k / 150k / 200k cast ballots
-assuming immediate phase succession.
+assuming immediate phase succession.  The breakdown is computed straight
+from the experiment's :class:`ScenarioSpec`.
 
 Phases: Vote Collection, Vote Set Consensus, Push to BB + encrypted tally,
 Publish result.
@@ -17,9 +18,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.perf.phases import phase_sweep
+from repro.api import ScenarioSpec
 
 CAST_COUNTS = (50_000, 100_000, 150_000, 200_000)
+
+SCENARIO = ScenarioSpec(
+    options=tuple(f"option-{i + 1}" for i in range(4)),
+    num_voters=4,
+    registered_ballots=200_000,
+    storage="postgres",
+    election_id="fig5c-phases",
+)
 
 
 @pytest.mark.benchmark(group="fig5")
@@ -27,7 +36,7 @@ def test_fig5c_phase_breakdown(benchmark, results_sink):
     """Figure 5c: per-phase duration vs #ballots cast."""
     save, show = results_sink
     phases = benchmark.pedantic(
-        lambda: phase_sweep(CAST_COUNTS, registered_ballots=200_000, num_vc=4, num_options=4),
+        lambda: [SCENARIO.phase_breakdown(cast) for cast in CAST_COUNTS],
         rounds=1,
         iterations=1,
     )

@@ -12,16 +12,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.coordinator import ElectionCoordinator
+from repro.api import ElectionEngine, ScenarioSpec
 from repro.core.election import ElectionParameters
 
 
 def run_small_election():
-    params = ElectionParameters.small_test_election(
-        num_voters=3, num_options=2, election_end=200.0
+    spec = ScenarioSpec(
+        options=("option-1", "option-2"), num_voters=3, election_end=200.0, seed=77
     )
-    coordinator = ElectionCoordinator(params, seed=77)
-    outcome = coordinator.run_election(["option-1", "option-2", "option-1"])
+    outcome = ElectionEngine(spec).run(["option-1", "option-2", "option-1"])
     assert outcome.tally is not None
     assert outcome.tally.as_dict() == {"option-1": 2, "option-2": 1}
     assert outcome.audit_report.passed

@@ -166,7 +166,9 @@ def run_verify_rows():
     for kind, items, serial_fn, task, model_speedup in payloads:
         ok_serial, serial_seconds = timed(serial_fn)
         outcome, batch_seconds = timed(
-            lambda: merge_outcomes(parallel_chunk_map(task, items, config))
+            lambda task=task, items=items: merge_outcomes(
+                parallel_chunk_map(task, items, config)
+            )
         )
         assert ok_serial and outcome.ok
         rows.append({

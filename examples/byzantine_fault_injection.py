@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Fault injection: the election survives Byzantine components.
 
-This example runs the same election three times:
+This example runs the same election four times, each scenario declared as a
+:class:`ScenarioSpec` whose :class:`AdversaryProfile` names the misbehaving
+nodes by registered behaviour:
 
 1. fully honest (baseline);
-2. with one silent (crashed) Vote Collector, one equivocating Vote Collector
-   replaced **in separate runs** to stay within fv < Nv/3, and
+2. with one silent (crashed) Vote Collector and one equivocating Vote
+   Collector replaced **in separate runs** to stay within fv < Nv/3, and
 3. with one Bulletin Board node that answers every read with an empty state.
 
 In every run the voters still obtain valid receipts, the published tally is
@@ -15,27 +17,22 @@ guarantees of Theorems 1-3 under the paper's fault thresholds.
 Run with:  python examples/byzantine_fault_injection.py
 """
 
-from repro.core.byzantine import (
-    EquivocatingVoteCollector,
-    SilentVoteCollector,
-    WithholdingBulletinBoard,
-)
-from repro.core.coordinator import ElectionCoordinator
-from repro.core.election import ElectionParameters
+from repro.api import AdversaryProfile, ElectionEngine, ScenarioSpec
 
 CHOICES = ["option-1", "option-2", "option-1", "option-1"]
 
+BASE = ScenarioSpec(
+    options=("option-1", "option-2"),
+    num_voters=len(CHOICES),
+    election_end=400.0,
+    voter_patience=10.0,
+    seed=99,
+)
 
-def run(label, vc_classes=None, bb_classes=None, seed=99):
-    params = ElectionParameters.small_test_election(
-        num_voters=len(CHOICES), num_options=2, election_end=400.0
-    )
-    coordinator = ElectionCoordinator(
-        params, seed=seed,
-        vc_node_classes=vc_classes or {},
-        bb_node_classes=bb_classes or {},
-    )
-    outcome = coordinator.run_election(CHOICES, voter_patience=10.0)
+
+def run(label, adversary=None):
+    spec = BASE if adversary is None else BASE.derive(adversary=adversary)
+    outcome = ElectionEngine(spec).run(CHOICES)
     receipts = f"{outcome.receipts_obtained}/{len(outcome.voters)} receipts"
     print(f"{label:<38} {receipts:<16} tally={outcome.tally.as_dict()} "
           f"audit={'pass' if outcome.audit_report.passed else 'FAIL'}")
@@ -47,11 +44,11 @@ def main() -> None:
     print("-" * 100)
     baseline = run("honest baseline")
     silent = run("one crashed VC node (VC-2 silent)",
-                 vc_classes={"VC-2": SilentVoteCollector})
+                 AdversaryProfile(vc_behaviors={"VC-2": "silent"}))
     equivocating = run("one equivocating VC node (VC-3)",
-                       vc_classes={"VC-3": EquivocatingVoteCollector})
+                       AdversaryProfile(vc_behaviors={"VC-3": "equivocating"}))
     withholding = run("one withholding BB node (BB-1)",
-                      bb_classes={"BB-1": WithholdingBulletinBoard})
+                      AdversaryProfile(bb_behaviors={"BB-1": "withholding"}))
 
     expected = baseline.tally.as_dict()
     for outcome in (silent, equivocating, withholding):

@@ -19,21 +19,21 @@ Run with:  python examples/delegated_audit.py
 """
 
 from repro.analysis.verification import e2e_verifiability_error, fraud_undetected_probability
+from repro.api import ElectionEngine, ScenarioSpec
 from repro.core.auditor import Auditor
 from repro.core.ballot import BallotLine
-from repro.core.coordinator import ElectionCoordinator
-from repro.core.election import ElectionParameters
 from repro.core.voter import VoterAuditInfo
 
 
 def main() -> None:
-    params = ElectionParameters.small_test_election(
-        num_voters=4, num_options=3, election_end=400.0
+    spec = ScenarioSpec(
+        options=("option-1", "option-2", "option-3"),
+        num_voters=4,
+        election_end=400.0,
+        seed=7,
     )
-    coordinator = ElectionCoordinator(params, seed=7)
-    outcome = coordinator.run_election(
-        ["option-2", "option-1", "option-3", "option-2"]
-    )
+    engine = ElectionEngine(spec)
+    outcome = engine.run(["option-2", "option-1", "option-3", "option-2"])
     print(f"published tally: {outcome.tally.as_dict()}\n")
 
     # 1. What each voter delegates (note: no option choice appears anywhere).
@@ -47,7 +47,8 @@ def main() -> None:
           f"({len(info.unused_part_lines)} <vote-code, option, receipt> lines)\n")
 
     # 2. An independent auditor verifies every delegation against the BB majority.
-    auditor = Auditor(outcome.bb_nodes, params, coordinator.group)
+    params = spec.to_election_parameters()
+    auditor = Auditor(outcome.bb_nodes, params, engine.ctx.group)
     report = auditor.audit(delegations)
     print(f"auditor checks: {len(report.checks)} performed, all passed: {report.passed}")
 

@@ -1,35 +1,32 @@
 #!/usr/bin/env python3
 """Quickstart: run a complete D-DEMOS election in a few lines.
 
-This example sets up a small election (5 voters, 3 options, 4 Vote Collector
-nodes, 3 Bulletin Board nodes, 3 trustees with a 2-of-3 threshold), lets the
-voters cast their votes over the simulated network, runs Vote Set Consensus,
-tabulates the result through the trustees and finally audits the whole thing.
+The public API is scenario-driven: pick (or build) a :class:`ScenarioSpec`,
+hand it to an :class:`ElectionEngine`, and run it with one choice per voter.
+The ``paper_baseline`` preset is the paper's per-ballot protocol on a small
+deployment (5 voters, 3 options, 4 Vote Collector nodes, 3 Bulletin Board
+nodes, 3 trustees with a 2-of-3 threshold).  The engine emits typed progress
+events while it runs; we subscribe to print the phases as they happen.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core.coordinator import ElectionCoordinator
-from repro.core.election import ElectionParameters
+from repro.api import ElectionEngine, PhaseStarted, ScenarioSpec
 
 
 def main() -> None:
-    params = ElectionParameters.small_test_election(
-        num_voters=5,
-        num_options=3,
-        num_vc=4,
-        num_bb=3,
-        num_trustees=3,
-        trustee_threshold=2,
-        election_end=500.0,
-    )
-    print(f"Election: {params.num_voters} voters, {params.num_options} options, "
-          f"{params.thresholds.num_vc} VC nodes, {params.thresholds.num_bb} BB nodes, "
-          f"{params.thresholds.num_trustees} trustees")
+    spec = ScenarioSpec.preset("paper_baseline", seed=2024)
+    print(f"Election: {spec.num_voters} voters, {spec.num_options} options, "
+          f"{spec.num_vc} VC nodes, {spec.num_bb} BB nodes, "
+          f"{spec.num_trustees} trustees")
 
-    coordinator = ElectionCoordinator(params, seed=2024)
+    engine = ElectionEngine(spec)
+    engine.subscribe(
+        lambda event: isinstance(event, PhaseStarted)
+        and print(f"  [t={event.sim_time:7.2f}] phase: {event.phase}")
+    )
     choices = ["option-1", "option-3", "option-1", "option-2", "option-1"]
-    outcome = coordinator.run_election(choices)
+    outcome = engine.run(choices)
 
     print("\n--- voting phase ---")
     for voter in outcome.voters:
@@ -52,6 +49,8 @@ def main() -> None:
     print("\n--- network statistics ---")
     print(f"  messages sent: {outcome.network.messages_sent}, "
           f"delivered: {outcome.network.messages_delivered}")
+    print(f"  simulated phase durations: "
+          f"{ {k: round(v, 2) for k, v in outcome.phase_timings.items()} }")
 
 
 if __name__ == "__main__":

@@ -5,49 +5,56 @@ The paper's motivating deployment is a national referendum (m = 2) with an
 electorate comparable to the 2012 US voting population (235 million).  The
 full cryptographic stack obviously cannot run 235 million simulated voters on
 a laptop, so this example does what an election operator would do with the
-library:
+library, starting from the ``national_scale`` scenario preset:
 
 1. size the Vote Collector deployment with the calibrated performance model
    (how does throughput/latency change with the number of VC nodes, LAN vs
-   WAN, database-backed storage and electorate size?);
+   WAN, database-backed storage and electorate size?) -- every load simulator
+   is constructed straight from a derived :class:`ScenarioSpec`;
 2. compute the liveness/safety margins for the chosen deployment from the
    paper's theorems (patience window Twait, receipt guarantees, probability
    of losing a receipted vote);
-3. run a *scaled-down but real* election (with full cryptography) using the
-   same option set, to show the actual pipeline end to end.
+3. run a *scaled-down but real* election (with full cryptography) through
+   the :class:`ElectionEngine`, using the same option set, to show the
+   actual pipeline end to end.
 
 Run with:  python examples/referendum_national_scale.py
+(Set EXAMPLES_SMOKE=1 for a scaled-down run, as in CI.)
 """
+
+import os
 
 from repro.analysis.liveness import receipt_probability_lower_bound, twait
 from repro.analysis.verification import safety_failure_probability_union
-from repro.core.coordinator import ElectionCoordinator
-from repro.core.election import ElectionParameters
-from repro.perf.costmodel import CostModel, DatabaseCosts, NetworkProfile
-from repro.perf.loadsim import VoteCollectionLoadSimulator
+from repro.api import ElectionEngine, NetworkProfile, ScenarioSpec
 from repro.perf.phases import phase_breakdown
 
-ELECTORATE = 235_000_000
-OPTIONS = ["yes", "no"]
+SMOKE = bool(os.environ.get("EXAMPLES_SMOKE"))
+
+BASE = ScenarioSpec.preset("national_scale")
+VC_SWEEP = (4, 7) if SMOKE else (4, 7, 10)
+TARGET_VOTES = 120 if SMOKE else 600
+WARMUP_VOTES = 30 if SMOKE else 100
 
 
 def capacity_planning() -> None:
     print("=== 1. capacity planning (performance model) ===")
-    print(f"electorate: {ELECTORATE:,} registered voters, question: yes/no\n")
+    print(f"electorate: {BASE.electorate:,} registered voters, "
+          f"question: {'/'.join(BASE.options)}\n")
     print("Nv   network  storage   throughput (votes/s)   mean latency (s)")
-    for num_vc in (4, 7, 10):
-        for network, db in ((NetworkProfile.lan(), None),
-                            (NetworkProfile.wan(), DatabaseCosts())):
-            model = CostModel(network=network, database=db,
-                              num_ballots=ELECTORATE, num_options=len(OPTIONS))
-            sim = VoteCollectionLoadSimulator(num_vc, 400, model, seed=11)
-            result = sim.run(target_votes=600, warmup_votes=100)
-            storage = "postgres" if db else "memory"
-            print(f"{num_vc:<4} {network.name:<8} {storage:<9} "
+    for num_vc in VC_SWEEP:
+        for network, storage in ((NetworkProfile.lan(), "memory"),
+                                 (NetworkProfile.wan(), "postgres")):
+            scenario = BASE.derive(
+                num_vc=num_vc, network=network, storage=storage, seed=11
+            )
+            sim = scenario.load_simulator(num_clients=400)
+            result = sim.run(target_votes=TARGET_VOTES, warmup_votes=WARMUP_VOTES)
+            print(f"{num_vc:<4} {network.kind:<8} {storage:<9} "
                   f"{result.throughput_ops:>14.1f}        {result.mean_latency_s:>10.3f}")
 
-    phases = phase_breakdown(200_000, registered_ballots=ELECTORATE,
-                             num_vc=4, num_options=len(OPTIONS))
+    phases = phase_breakdown(200_000, registered_ballots=BASE.electorate,
+                             num_vc=4, num_options=BASE.num_options)
     print("\npost-election phases for 200,000 cast ballots (seconds):")
     print(f"  vote set consensus      : {phases.vote_set_consensus_s:9.1f}")
     print(f"  push to BB + enc. tally : {phases.push_to_bb_s:9.1f}")
@@ -63,21 +70,15 @@ def security_margins() -> None:
         print(f"Nv={num_vc:<3} fv={fv}: patience window Twait = {window:.2f}s; "
               f"P[receipt within {fv} windows] > {receipt_probability_lower_bound(fv):.4f}; "
               f"P[any receipted vote dropped] < "
-              f"{safety_failure_probability_union(ELECTORATE, fv):.3e}")
+              f"{safety_failure_probability_union(BASE.electorate, fv):.3e}")
 
 
 def scaled_down_real_run() -> None:
     print("\n=== 3. scaled-down real election (full cryptography) ===")
-    params = ElectionParameters(
-        options=OPTIONS,
-        num_voters=6,
-        thresholds=ElectionParameters.small_test_election().thresholds,
-        election_end=500.0,
-        election_id="national-referendum-rehearsal",
-    )
-    coordinator = ElectionCoordinator(params, seed=101)
+    rehearsal = BASE.derive(election_id="national-referendum-rehearsal", seed=101)
+    engine = ElectionEngine(rehearsal)
     choices = ["yes", "yes", "no", "yes", "no", "yes"]
-    outcome = coordinator.run_election(choices)
+    outcome = engine.run(choices)
     print(f"receipts: {outcome.receipts_obtained}/{len(outcome.voters)} "
           f"(all valid: {outcome.all_receipts_valid})")
     print(f"tally: {outcome.tally.as_dict()}  winner: {outcome.tally.winner()}")

@@ -2,6 +2,12 @@
 
 The package is organised as follows:
 
+* :mod:`repro.api` -- the public, scenario-driven API: declarative
+  :class:`~repro.api.spec.ScenarioSpec` configurations with named presets,
+  the event-driven :class:`~repro.api.engine.ElectionEngine` built from
+  pluggable phase drivers, and the
+  :class:`~repro.api.service.MultiElectionService` facade that multiplexes
+  many elections over one shared scheduler.
 * :mod:`repro.crypto` -- cryptographic substrates (group, ElGamal commitments,
   zero-knowledge proofs, secret sharing, signatures, symmetric layer).
 * :mod:`repro.net` -- deterministic discrete-event network simulation, clocks
@@ -19,4 +25,4 @@ The package is organised as follows:
 
 __version__ = "1.0.0"
 
-__all__ = ["crypto", "net", "consensus", "core", "perf", "analysis"]
+__all__ = ["api", "crypto", "net", "consensus", "core", "perf", "analysis"]

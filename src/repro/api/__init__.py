@@ -1,0 +1,78 @@
+"""Public, scenario-driven API of the D-DEMOS reproduction.
+
+Three layers (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.api.spec` -- :class:`ScenarioSpec`, a frozen, declarative
+  description of one election scenario (composable ``ConsensusConfig`` /
+  ``AuditConfig`` / ``NetworkProfile`` / ``AdversaryProfile`` /
+  ``CryptoProfile`` blocks, named presets, dict round-tripping);
+* :mod:`repro.api.engine` -- :class:`ElectionEngine`, an event-driven runner
+  built from pluggable :class:`PhaseDriver` steps (setup, voting, consensus,
+  tally, audit) that emits the typed events of :mod:`repro.api.events`;
+* :mod:`repro.api.service` -- :class:`MultiElectionService`, a facade that
+  multiplexes N independent elections over one shared scheduler and process
+  pool, with per-election RNG and timing isolation.
+"""
+
+from repro.api.engine import (
+    AuditDriver,
+    ConsensusDriver,
+    ElectionEngine,
+    EngineContext,
+    PhaseDriver,
+    SetupDriver,
+    TallyDriver,
+    VotingDriver,
+    default_drivers,
+)
+from repro.api.events import (
+    AuditCompleted,
+    BallotAccepted,
+    ConsensusDecided,
+    ElectionCompleted,
+    ElectionEvent,
+    EventBus,
+    PhaseCompleted,
+    PhaseStarted,
+    TallyComputed,
+)
+from repro.api.service import ElectionReport, MultiElectionService
+from repro.api.spec import (
+    PRESETS,
+    AdversaryProfile,
+    AuditConfig,
+    ConsensusConfig,
+    CryptoProfile,
+    NetworkProfile,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "AdversaryProfile",
+    "AuditConfig",
+    "AuditCompleted",
+    "AuditDriver",
+    "BallotAccepted",
+    "ConsensusConfig",
+    "ConsensusDecided",
+    "ConsensusDriver",
+    "CryptoProfile",
+    "ElectionCompleted",
+    "ElectionEngine",
+    "ElectionEvent",
+    "ElectionReport",
+    "EngineContext",
+    "EventBus",
+    "MultiElectionService",
+    "NetworkProfile",
+    "PRESETS",
+    "PhaseCompleted",
+    "PhaseDriver",
+    "PhaseStarted",
+    "ScenarioSpec",
+    "SetupDriver",
+    "TallyComputed",
+    "TallyDriver",
+    "VotingDriver",
+    "default_drivers",
+]

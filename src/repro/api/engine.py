@@ -1,0 +1,493 @@
+"""Event-driven election engine built from pluggable phase drivers.
+
+:class:`ElectionEngine` replaces the coordinator's hardwired phase sequence
+with five :class:`PhaseDriver` steps -- setup, voting, consensus, tally,
+audit -- run in order over a shared :class:`EngineContext`.  Around every
+driver the engine emits the typed events of :mod:`repro.api.events`
+(``PhaseStarted`` / ``PhaseCompleted`` plus the driver's own events such as
+``BallotAccepted`` and ``ConsensusDecided``), so benchmarks, the load
+simulator and future async/real-network drivers observe a run by subscribing
+instead of monkey-patching.
+
+Drivers split their work into ``prepare`` (build state), ``schedule``
+(enqueue simulator events) and ``execute`` (consume simulated time) so the
+multi-election service can interleave the simulated phases of several
+elections on one shared scheduler; ``run`` composes the three for the
+single-election path.
+
+The deprecated :class:`repro.core.coordinator.ElectionCoordinator` is a thin
+shim over this engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.api.events import (
+    AuditCompleted,
+    BallotAccepted,
+    ConsensusDecided,
+    ElectionCompleted,
+    EventBus,
+    Observer,
+    PhaseCompleted,
+    PhaseStarted,
+    TallyComputed,
+)
+from repro.api.spec import ScenarioSpec
+from repro.core.auditor import Auditor
+from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
+from repro.core.ea import (
+    ElectionAuthority,
+    ElectionSetup,
+    bb_node_id,
+    trustee_id,
+    vc_node_id,
+    voter_id,
+)
+from repro.core.election import ElectionParameters
+from repro.core.outcome import ElectionOutcome
+from repro.core.tally import TallyResult
+from repro.core.trustee import Trustee
+from repro.core.vote_collector import VoteCollectorNode
+from repro.core.voter import VoterClient
+from repro.crypto.group import Group
+from repro.crypto.utils import RandomSource
+from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.simulator import Network
+from repro.perf.parallel import ParallelConfig
+
+
+@dataclass
+class EngineContext:
+    """Mutable run state threaded through the phase drivers."""
+
+    spec: ScenarioSpec
+    params: ElectionParameters
+    group: Group
+    rng: RandomSource
+    bus: EventBus
+    conditions: NetworkConditions
+    adversary: Adversary
+    vc_node_classes: Dict[str, Type[VoteCollectorNode]]
+    bb_node_classes: Dict[str, Type[BulletinBoardNode]]
+    trustee_classes: Dict[str, Type[Trustee]]
+    include_proofs: bool = True
+    #: shared parallel-audit schedule (the multi-election service injects one
+    #: config so every member election draws on the same worker budget).
+    parallel: Optional[ParallelConfig] = None
+
+    choices: Optional[Sequence[str]] = None
+    voter_parts: Optional[Sequence[str]] = None
+    voter_patience: float = 50.0
+    stagger: float = 0.5
+
+    setup: Optional[ElectionSetup] = None
+    network: Optional[Network] = None
+    vote_collectors: List[VoteCollectorNode] = field(default_factory=list)
+    bb_nodes: List[BulletinBoardNode] = field(default_factory=list)
+    trustees: List[Trustee] = field(default_factory=list)
+    voters: List[VoterClient] = field(default_factory=list)
+    tally: Optional[TallyResult] = None
+    audit_report: Optional[object] = None
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sim_now(self) -> float:
+        """Current simulated time (0 before the network exists)."""
+        return self.network.now if self.network is not None else 0.0
+
+
+class PhaseDriver:
+    """One pluggable step of an election run.
+
+    Subclasses override any of :meth:`prepare` / :meth:`schedule` /
+    :meth:`execute` / :meth:`finalize`; :meth:`run` composes them.  Only
+    ``execute`` may consume simulated time, which is what lets the
+    multi-election service substitute a shared scheduler for it.
+    """
+
+    name: str = "phase"
+    #: whether :meth:`execute` advances the discrete-event simulation.  The
+    #: multi-election service substitutes its shared scheduler for the
+    #: ``execute`` step of exactly these drivers.
+    consumes_sim_time: bool = False
+
+    def should_run(self, ctx: EngineContext) -> bool:
+        """Whether the engine's full run includes this phase."""
+        return True
+
+    def horizon(self, ctx: EngineContext) -> Optional[float]:
+        """Latest simulated time :meth:`execute` may reach (None = run to idle).
+
+        Only consulted when ``consumes_sim_time`` is True.
+        """
+        return None
+
+    def prepare(self, ctx: EngineContext) -> None:
+        """Build state (no simulated time passes)."""
+
+    def schedule(self, ctx: EngineContext) -> None:
+        """Enqueue simulator events for this phase."""
+
+    def execute(self, ctx: EngineContext) -> None:
+        """Advance the simulation / do the phase's blocking work."""
+
+    def finalize(self, ctx: EngineContext) -> None:
+        """Emit the phase's summary events and fold results into the context."""
+
+    def run(self, ctx: EngineContext) -> None:
+        self.prepare(ctx)
+        self.schedule(ctx)
+        self.execute(ctx)
+        self.finalize(ctx)
+
+
+class SetupDriver(PhaseDriver):
+    """Phase 0: the EA produces all initialization data and is destroyed."""
+
+    name = "setup"
+
+    def execute(self, ctx: EngineContext) -> None:
+        authority = ElectionAuthority(
+            ctx.params,
+            group=ctx.group,
+            rng=ctx.rng,
+            include_proofs=ctx.include_proofs,
+        )
+        ctx.setup = authority.setup()
+
+
+class VotingDriver(PhaseDriver):
+    """Phase 1+2: instantiate the deployment, let voters cast until close."""
+
+    name = "voting"
+    consumes_sim_time = True
+
+    def horizon(self, ctx: EngineContext) -> Optional[float]:
+        return ctx.params.election_end
+
+    def prepare(self, ctx: EngineContext) -> None:
+        if ctx.setup is None:
+            raise RuntimeError("the setup phase must run before voting")
+        if ctx.choices is None:
+            raise ValueError("an election run needs the voters' choices")
+        params = ctx.params
+        if len(ctx.choices) != params.num_voters:
+            raise ValueError("need exactly one choice per voter")
+        setup = ctx.setup
+        ctx.network = Network(conditions=ctx.conditions, adversary=ctx.adversary)
+        ctx.bus.set_clock(lambda: ctx.network.now)
+
+        for index in range(params.thresholds.num_vc):
+            node_id = vc_node_id(index)
+            cls = ctx.vc_node_classes.get(node_id, VoteCollectorNode)
+            node = cls(setup.vc_init[node_id], params)
+            ctx.vote_collectors.append(node)
+            ctx.network.register(node)
+
+        for index in range(params.thresholds.num_bb):
+            node_id = bb_node_id(index)
+            cls = ctx.bb_node_classes.get(node_id, BulletinBoardNode)
+            node = cls(node_id, setup.bb_init, params, ctx.group)
+            ctx.bb_nodes.append(node)
+            ctx.network.register(node)
+
+        # Trustees (not SimNodes: the tabulation phase is sequential).
+        for index in range(params.thresholds.num_trustees):
+            node_id = trustee_id(index)
+            cls = ctx.trustee_classes.get(node_id, Trustee)
+            ctx.trustees.append(cls(setup.trustee_init[node_id], params, ctx.group))
+
+        vc_ids = [vc_node_id(i) for i in range(params.thresholds.num_vc)]
+        for index, choice in enumerate(ctx.choices):
+            part = ctx.voter_parts[index] if ctx.voter_parts is not None else None
+            voter = VoterClient(
+                voter_id(index),
+                setup.ballots[index],
+                vc_ids,
+                choice,
+                patience=ctx.voter_patience,
+                part_choice=part,
+                seed=ctx.spec.seed + index,
+            )
+            ctx.voters.append(voter)
+            ctx.network.register(voter)
+
+    def schedule(self, ctx: EngineContext) -> None:
+        for index, voter in enumerate(ctx.voters):
+            ctx.network.schedule(
+                index * ctx.stagger, voter.start_voting, description="voter-start"
+            )
+
+    def execute(self, ctx: EngineContext) -> None:
+        ctx.network.run(until=self.horizon(ctx))
+
+    def finalize(self, ctx: EngineContext) -> None:
+        accepted = [voter for voter in ctx.voters if voter.receipt is not None]
+        accepted.sort(key=lambda v: (v.completed_at if v.completed_at is not None else 0.0))
+        for voter in accepted:
+            ctx.bus.emit(
+                BallotAccepted(
+                    voter=voter.node_id,
+                    serial=voter.ballot.serial,
+                    attempts=voter.attempts,
+                    receipt_valid=bool(voter.receipt_valid),
+                )
+            )
+
+
+class ConsensusDriver(PhaseDriver):
+    """Phase 3: VC nodes freeze the vote set and run Vote Set Consensus."""
+
+    name = "consensus"
+    consumes_sim_time = True
+
+    def schedule(self, ctx: EngineContext) -> None:
+        end_time = ctx.params.election_end
+        for node in ctx.vote_collectors:
+            ctx.network.schedule_at(end_time, node.end_election, description="election-end")
+
+    def execute(self, ctx: EngineContext) -> None:
+        ctx.network.run_until_idle()
+
+    def finalize(self, ctx: EngineContext) -> None:
+        vote_sets = [
+            node.final_vote_set
+            for node in ctx.vote_collectors
+            if getattr(node, "final_vote_set", None) is not None
+        ]
+        stats: Dict[str, int] = {}
+        for node in ctx.vote_collectors:
+            for key, value in node.vsc_stats.as_dict().items():
+                stats[key] = stats.get(key, 0) + value
+        ctx.bus.emit(
+            ConsensusDecided(
+                vote_set_size=max((len(vs) for vs in vote_sets), default=0),
+                stats=stats,
+            )
+        )
+
+
+class TallyDriver(PhaseDriver):
+    """Phase 4: trustees read the BB, compute shares and post them back."""
+
+    name = "tally"
+
+    def execute(self, ctx: EngineContext) -> None:
+        reader = MajorityReader(ctx.bb_nodes, ctx.params)
+        try:
+            view = reader.election_view()
+        except ValueError:
+            ctx.tally = None
+            return
+        for trustee in ctx.trustees:
+            submission = trustee.produce_submission(view)
+            for bb in ctx.bb_nodes:
+                bb.receive_trustee_submission(submission)
+        try:
+            ctx.tally = reader.tally()
+        except ValueError:
+            ctx.tally = None
+
+    def finalize(self, ctx: EngineContext) -> None:
+        if ctx.tally is not None:
+            ctx.bus.emit(TallyComputed(tally=ctx.tally.as_dict()))
+
+
+class AuditDriver(PhaseDriver):
+    """Phase 5: an independent auditor verifies the whole election."""
+
+    name = "audit"
+
+    def should_run(self, ctx: EngineContext) -> bool:
+        return ctx.spec.audit.enabled and ctx.tally is not None
+
+    def execute(self, ctx: EngineContext) -> None:
+        audit = ctx.spec.audit
+        auditor = Auditor(
+            ctx.bb_nodes,
+            ctx.params,
+            ctx.group,
+            security_bits=audit.security_bits,
+        )
+        delegations = [voter.audit_info() for voter in ctx.voters if voter.receipt is not None]
+        if not audit.batch:
+            ctx.audit_report = auditor.audit(delegations)
+            return
+        # base_seed stays None unless a config was injected: the batching
+        # exponents must be unpredictable to whoever produced the proofs, or
+        # the 2^-bits soundness bound dies.
+        parallel = ctx.parallel or ParallelConfig(workers=audit.workers)
+        ctx.audit_report = auditor.verify_all(delegations, parallel=parallel)
+
+    def finalize(self, ctx: EngineContext) -> None:
+        if ctx.audit_report is not None:
+            ctx.bus.emit(
+                AuditCompleted(
+                    passed=ctx.audit_report.passed,
+                    checks=len(ctx.audit_report.checks),
+                )
+            )
+
+
+def default_drivers() -> List[PhaseDriver]:
+    """The paper's phase sequence: setup, voting, consensus, tally, audit."""
+    return [SetupDriver(), VotingDriver(), ConsensusDriver(), TallyDriver(), AuditDriver()]
+
+
+class ElectionEngine:
+    """Runs a :class:`ScenarioSpec` through pluggable phase drivers.
+
+    The spec is the declarative source of truth; the keyword overrides exist
+    as injection points for pre-built objects (a shared group, a hand-crafted
+    adversary, custom node classes) and take precedence over the spec's
+    corresponding declarative fields.  The deprecated coordinator shim uses
+    them to keep its old constructor working.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        drivers: Optional[Sequence[PhaseDriver]] = None,
+        observers: Sequence[Observer] = (),
+        group: Optional[Group] = None,
+        conditions: Optional[NetworkConditions] = None,
+        adversary: Optional[Adversary] = None,
+        rng: Optional[RandomSource] = None,
+        vc_node_classes: Optional[Dict[str, Type[VoteCollectorNode]]] = None,
+        bb_node_classes: Optional[Dict[str, Type[BulletinBoardNode]]] = None,
+        trustee_classes: Optional[Dict[str, Type[Trustee]]] = None,
+        include_proofs: Optional[bool] = None,
+        parallel: Optional[ParallelConfig] = None,
+    ):
+        self.spec = spec
+        self.drivers: List[PhaseDriver] = (
+            list(drivers) if drivers is not None else default_drivers()
+        )
+        self.bus = EventBus(spec.election_id)
+        for observer in observers:
+            self.bus.subscribe(observer)
+        self._group = group
+        self._conditions = conditions
+        self._adversary = adversary
+        self._rng = rng
+        self._vc_node_classes = vc_node_classes
+        self._bb_node_classes = bb_node_classes
+        self._trustee_classes = trustee_classes
+        self._include_proofs = include_proofs
+        self._parallel = parallel
+        self.ctx: Optional[EngineContext] = None
+
+    # -- observation -------------------------------------------------------------
+
+    def subscribe(self, observer: Observer) -> None:
+        """Receive every event of this engine's runs."""
+        self.bus.subscribe(observer)
+
+    @property
+    def events(self) -> List:
+        """All events emitted so far, in order."""
+        return list(self.bus.history)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(
+        self,
+        choices: Optional[Sequence[str]] = None,
+        voter_parts: Optional[Sequence[str]] = None,
+        voter_patience: Optional[float] = None,
+        stagger: Optional[float] = None,
+    ) -> EngineContext:
+        """Create a fresh run context (resetting any previous run's state and events)."""
+        self.bus.reset()
+        spec = self.spec
+        adversary = self._adversary if self._adversary is not None else (
+            spec.adversary.build_adversary()
+        )
+        vc_classes = dict(spec.adversary.vc_classes())
+        bb_classes = dict(spec.adversary.bb_classes())
+        trustee_classes = dict(spec.adversary.trustee_classes())
+        vc_classes.update(self._vc_node_classes or {})
+        bb_classes.update(self._bb_node_classes or {})
+        trustee_classes.update(self._trustee_classes or {})
+        self.ctx = EngineContext(
+            spec=spec,
+            params=spec.to_election_parameters(),
+            group=self._group if self._group is not None else spec.crypto.build_group(),
+            rng=self._rng if self._rng is not None else RandomSource(spec.seed),
+            bus=self.bus,
+            conditions=self._conditions
+            if self._conditions is not None
+            else spec.network.conditions(seed=spec.seed),
+            adversary=adversary,
+            vc_node_classes=vc_classes,
+            bb_node_classes=bb_classes,
+            trustee_classes=trustee_classes,
+            include_proofs=self._include_proofs
+            if self._include_proofs is not None
+            else spec.crypto.include_proofs,
+            parallel=self._parallel,
+            choices=choices,
+            voter_parts=voter_parts,
+            voter_patience=spec.voter_patience if voter_patience is None else voter_patience,
+            stagger=spec.stagger if stagger is None else stagger,
+        )
+        return self.ctx
+
+    def driver(self, name: str) -> PhaseDriver:
+        """Look up a driver of the configured sequence by phase name."""
+        for driver in self.drivers:
+            if driver.name == name:
+                return driver
+        raise KeyError(f"no {name!r} phase in this engine's driver sequence")
+
+    def run_phase(self, driver: PhaseDriver, ctx: Optional[EngineContext] = None) -> None:
+        """Run one driver wrapped in PhaseStarted/PhaseCompleted events."""
+        ctx = ctx or self.ctx
+        if ctx is None:
+            raise RuntimeError("call begin() before running phases")
+        self.bus.emit(PhaseStarted(phase=driver.name))
+        started = ctx.sim_now
+        driver.run(ctx)
+        duration = ctx.sim_now - started
+        ctx.phase_timings[driver.name] = duration
+        self.bus.emit(PhaseCompleted(phase=driver.name, sim_duration=duration))
+
+    def run(
+        self,
+        choices: Sequence[str],
+        voter_parts: Optional[Sequence[str]] = None,
+        voter_patience: Optional[float] = None,
+        stagger: Optional[float] = None,
+    ) -> ElectionOutcome:
+        """Run every phase in order and return the outcome."""
+        ctx = self.begin(
+            choices, voter_parts=voter_parts, voter_patience=voter_patience, stagger=stagger
+        )
+        for driver in self.drivers:
+            if driver.should_run(ctx):
+                self.run_phase(driver, ctx)
+        receipts = sum(1 for voter in ctx.voters if voter.receipt is not None)
+        self.bus.emit(ElectionCompleted(receipts=receipts))
+        return self.outcome()
+
+    def outcome(self) -> ElectionOutcome:
+        """Package the current context into an :class:`ElectionOutcome`."""
+        ctx = self.ctx
+        if ctx is None or ctx.setup is None:
+            raise RuntimeError("no completed run to package")
+        return ElectionOutcome(
+            setup=ctx.setup,
+            network=ctx.network,
+            vote_collectors=ctx.vote_collectors,
+            bb_nodes=ctx.bb_nodes,
+            trustees=ctx.trustees,
+            voters=ctx.voters,
+            tally=ctx.tally,
+            audit_report=ctx.audit_report,
+            events=list(self.bus.history),
+            phase_timings=dict(ctx.phase_timings),
+        )

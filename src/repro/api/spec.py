@@ -1,0 +1,683 @@
+"""Declarative election scenarios: the typed configuration layer of the API.
+
+A :class:`ScenarioSpec` is a frozen, composable description of *one* election
+run: what is being voted on, how the replicated subsystems are sized, and how
+the five orthogonal concerns that used to sprawl across
+``ElectionParameters`` and the coordinator constructor are configured:
+
+* :class:`ConsensusConfig` -- Vote Set Consensus batching;
+* :class:`AuditConfig`     -- end-of-election audit strategy and parallelism;
+* :class:`NetworkProfile`  -- simulator latency/loss *and* the calibrated
+  cost-model latencies, kept coherent in one place;
+* :class:`AdversaryProfile` -- which nodes misbehave and how (by name, so the
+  spec stays serializable);
+* :class:`CryptoProfile`   -- group backend and proof generation.
+
+Specs validate eagerly, round-trip through plain dicts (``to_dict`` /
+``from_dict``), and ship with named presets (``paper_baseline``,
+``batched_fast``, ``byzantine_stress``, ``national_scale``).  They are the
+single source every runner consumes: :class:`repro.api.engine.ElectionEngine`
+for full cryptographic runs on the simulator, and
+:meth:`ScenarioSpec.load_simulator` / :meth:`ScenarioSpec.cost_model` for the
+calibrated capacity-planning experiments of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.core.bulletin_board import BulletinBoardNode
+from repro.core.byzantine import (
+    CorruptTrustee,
+    EquivocatingVoteCollector,
+    ShareCorruptingVoteCollector,
+    SilentVoteCollector,
+    UcertWithholdingVoteCollector,
+    WithholdingBulletinBoard,
+)
+from repro.core.ea import bb_node_id, trustee_id, vc_node_id
+from repro.core.election import ElectionParameters, FaultThresholds, validate_audit_flags
+from repro.core.trustee import Trustee
+from repro.core.vote_collector import VoteCollectorNode
+from repro.crypto.group import EcGroup, Group, default_group
+from repro.net.adversary import Adversary, NetworkConditions
+from repro.perf import costmodel
+from repro.perf.loadsim import VoteCollectionLoadSimulator
+
+#: Registry of named Byzantine behaviours, so adversary profiles serialize as
+#: strings instead of classes.  Extend via :func:`register_vc_behavior` etc.
+VC_BEHAVIORS: Dict[str, Type[VoteCollectorNode]] = {
+    "silent": SilentVoteCollector,
+    "equivocating": EquivocatingVoteCollector,
+    "share_corrupting": ShareCorruptingVoteCollector,
+    "ucert_withholding": UcertWithholdingVoteCollector,
+}
+BB_BEHAVIORS: Dict[str, Type[BulletinBoardNode]] = {
+    "withholding": WithholdingBulletinBoard,
+}
+TRUSTEE_BEHAVIORS: Dict[str, Type[Trustee]] = {
+    "corrupt": CorruptTrustee,
+}
+
+
+def register_vc_behavior(name: str, cls: Type[VoteCollectorNode]) -> None:
+    """Register a custom VC behaviour usable from :class:`AdversaryProfile`."""
+    VC_BEHAVIORS[name] = cls
+
+
+def register_bb_behavior(name: str, cls: Type[BulletinBoardNode]) -> None:
+    """Register a custom BB behaviour usable from :class:`AdversaryProfile`."""
+    BB_BEHAVIORS[name] = cls
+
+
+def register_trustee_behavior(name: str, cls: Type[Trustee]) -> None:
+    """Register a custom trustee behaviour usable from :class:`AdversaryProfile`."""
+    TRUSTEE_BEHAVIORS[name] = cls
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Vote Set Consensus configuration.
+
+    ``batch_size=1`` runs the paper's one binary consensus instance per
+    ballot; larger values decide whole superblocks per instance, falling back
+    to per-ballot consensus for blocks with disagreement.
+    """
+
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("consensus batch size must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"batch_size": self.batch_size}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConsensusConfig":
+        return cls(batch_size=int(data.get("batch_size", 1)))
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """End-of-election audit configuration.
+
+    ``batch=True`` verifies openings/proofs with randomized batch equations
+    across ``workers`` processes (``None`` = one per core); ``batch=False``
+    runs the per-item reference audit.  ``enabled=False`` skips the audit
+    phase entirely (the engine still runs setup through tally).
+    """
+
+    enabled: bool = True
+    batch: bool = True
+    workers: Optional[int] = 1
+    security_bits: int = 64
+
+    def __post_init__(self) -> None:
+        validate_audit_flags(self.workers, self.security_bits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "batch": self.batch,
+            "workers": self.workers,
+            "security_bits": self.security_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AuditConfig":
+        workers = data.get("workers", 1)
+        return cls(
+            enabled=bool(data.get("enabled", True)),
+            batch=bool(data.get("batch", True)),
+            workers=None if workers is None else int(workers),
+            security_bits=int(data.get("security_bits", 64)),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Network behaviour of a scenario, for both runners.
+
+    The simulator fields (``base_latency_s``, ``jitter_s``, ``drop_rate``,
+    ``duplicate_rate``, ``max_delay_s``) drive
+    :class:`repro.net.adversary.NetworkConditions`; the millisecond hop costs
+    (``client_to_vc_ms``, ``inter_vc_ms``) drive the calibrated
+    :class:`repro.perf.costmodel.NetworkProfile` used by the load simulator.
+    The ``lan()`` / ``wan()`` presets keep the two views coherent.
+    """
+
+    kind: str = "lan"
+    base_latency_s: float = 0.0002
+    jitter_s: float = 0.0001
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    max_delay_s: Optional[float] = None
+    client_to_vc_ms: float = 0.25
+    inter_vc_ms: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0 or self.jitter_s < 0:
+            raise ValueError("latencies cannot be negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate rate must be in [0, 1)")
+        if self.max_delay_s is not None and self.max_delay_s <= 0:
+            raise ValueError("max delay must be positive when set")
+        if self.client_to_vc_ms < 0 or self.inter_vc_ms < 0:
+            raise ValueError("hop costs cannot be negative")
+
+    @classmethod
+    def lan(cls, **overrides: Any) -> "NetworkProfile":
+        """Gigabit-LAN profile (sub-millisecond latency), as in the paper's cluster."""
+        return cls(kind="lan", **overrides)
+
+    @classmethod
+    def wan(cls, **overrides: Any) -> "NetworkProfile":
+        """Emulated WAN: 25 ms one-way inter-VC latency (US coast-to-coast)."""
+        defaults = dict(
+            kind="wan",
+            base_latency_s=0.025,
+            jitter_s=0.002,
+            client_to_vc_ms=0.25,
+            inter_vc_ms=25.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def conditions(self, seed: Optional[int] = None) -> NetworkConditions:
+        """The discrete-event simulator view of this profile."""
+        return NetworkConditions(
+            base_latency=self.base_latency_s,
+            jitter=self.jitter_s,
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            max_delay=self.max_delay_s,
+            seed=seed,
+        )
+
+    def cost_profile(self) -> costmodel.NetworkProfile:
+        """The calibrated cost-model view of this profile."""
+        return costmodel.NetworkProfile(
+            client_to_vc_ms=self.client_to_vc_ms,
+            inter_vc_ms=self.inter_vc_ms,
+            name=self.kind,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base_latency_s": self.base_latency_s,
+            "jitter_s": self.jitter_s,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "max_delay_s": self.max_delay_s,
+            "client_to_vc_ms": self.client_to_vc_ms,
+            "inter_vc_ms": self.inter_vc_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkProfile":
+        max_delay = data.get("max_delay_s")
+        return cls(
+            kind=str(data.get("kind", "lan")),
+            base_latency_s=float(data.get("base_latency_s", 0.0002)),
+            jitter_s=float(data.get("jitter_s", 0.0001)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+            max_delay_s=None if max_delay is None else float(max_delay),
+            client_to_vc_ms=float(data.get("client_to_vc_ms", 0.25)),
+            inter_vc_ms=float(data.get("inter_vc_ms", 0.25)),
+        )
+
+
+@dataclass(frozen=True)
+class AdversaryProfile:
+    """Which nodes misbehave, by node id and registered behaviour name.
+
+    Behaviour names resolve through the module registries
+    (:data:`VC_BEHAVIORS`, :data:`BB_BEHAVIORS`, :data:`TRUSTEE_BEHAVIORS`),
+    keeping the profile serializable.  ``blocked_links`` are (sender,
+    receiver) pairs the network adversary silently drops.
+    """
+
+    vc_behaviors: Mapping[str, str] = field(default_factory=dict)
+    bb_behaviors: Mapping[str, str] = field(default_factory=dict)
+    trustee_behaviors: Mapping[str, str] = field(default_factory=dict)
+    blocked_links: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        for node, behavior in self.vc_behaviors.items():
+            if behavior not in VC_BEHAVIORS:
+                raise ValueError(
+                    f"unknown VC behaviour {behavior!r} for {node}; "
+                    f"known: {sorted(VC_BEHAVIORS)}"
+                )
+        for node, behavior in self.bb_behaviors.items():
+            if behavior not in BB_BEHAVIORS:
+                raise ValueError(
+                    f"unknown BB behaviour {behavior!r} for {node}; "
+                    f"known: {sorted(BB_BEHAVIORS)}"
+                )
+        for node, behavior in self.trustee_behaviors.items():
+            if behavior not in TRUSTEE_BEHAVIORS:
+                raise ValueError(
+                    f"unknown trustee behaviour {behavior!r} for {node}; "
+                    f"known: {sorted(TRUSTEE_BEHAVIORS)}"
+                )
+
+    @property
+    def is_honest(self) -> bool:
+        """True when no node misbehaves and no links are blocked."""
+        return not (
+            self.vc_behaviors or self.bb_behaviors or self.trustee_behaviors
+            or self.blocked_links
+        )
+
+    def vc_classes(self) -> Dict[str, Type[VoteCollectorNode]]:
+        return {node: VC_BEHAVIORS[name] for node, name in self.vc_behaviors.items()}
+
+    def bb_classes(self) -> Dict[str, Type[BulletinBoardNode]]:
+        return {node: BB_BEHAVIORS[name] for node, name in self.bb_behaviors.items()}
+
+    def trustee_classes(self) -> Dict[str, Type[Trustee]]:
+        return {node: TRUSTEE_BEHAVIORS[name] for node, name in self.trustee_behaviors.items()}
+
+    def build_adversary(self) -> Adversary:
+        """The network-layer adversary implied by this profile."""
+        return Adversary(
+            corrupted_vc=set(self.vc_behaviors),
+            corrupted_bb=set(self.bb_behaviors),
+            corrupted_trustees=set(self.trustee_behaviors),
+            blocked_links=set(self.blocked_links),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vc_behaviors": dict(self.vc_behaviors),
+            "bb_behaviors": dict(self.bb_behaviors),
+            "trustee_behaviors": dict(self.trustee_behaviors),
+            "blocked_links": [list(link) for link in self.blocked_links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversaryProfile":
+        return cls(
+            vc_behaviors=dict(data.get("vc_behaviors", {})),
+            bb_behaviors=dict(data.get("bb_behaviors", {})),
+            trustee_behaviors=dict(data.get("trustee_behaviors", {})),
+            blocked_links=tuple(
+                (str(s), str(r)) for s, r in data.get("blocked_links", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CryptoProfile:
+    """Cryptographic backend selection.
+
+    ``group`` picks the backend (``schnorr``: fast 256-bit safe-prime
+    subgroup, the default; ``ec``: secp256k1).  ``include_proofs=False``
+    skips ballot-correctness proof generation during setup, which speeds up
+    scenarios that never audit.
+    """
+
+    group: str = "schnorr"
+    include_proofs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.group not in ("schnorr", "ec"):
+            raise ValueError("group backend must be 'schnorr' or 'ec'")
+
+    def build_group(self) -> Group:
+        if self.group == "ec":
+            return EcGroup()
+        return default_group()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"group": self.group, "include_proofs": self.include_proofs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CryptoProfile":
+        return cls(
+            group=str(data.get("group", "schnorr")),
+            include_proofs=bool(data.get("include_proofs", True)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, validated election scenario."""
+
+    options: Tuple[str, ...] = ("option-1", "option-2")
+    num_voters: int = 4
+    num_vc: int = 4
+    num_bb: int = 3
+    num_trustees: int = 3
+    trustee_threshold: int = 2
+    election_id: str = "election-1"
+    election_start: float = 0.0
+    election_end: float = 1_000.0
+    #: root seed of the run: EA randomness, network jitter and the voters'
+    #: part coins all derive from it, so a scenario is reproducible end to end.
+    seed: int = 7
+    voter_patience: float = 50.0
+    stagger: float = 0.5
+    #: electorate size for the capacity-planning cost model (defaults to the
+    #: number of simulated voters when unset); the full-crypto engine always
+    #: generates ``num_voters`` real ballots.
+    registered_ballots: Optional[int] = None
+    #: ballot storage of the modelled deployment: "memory" or "postgres".
+    storage: str = "memory"
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+    audit: AuditConfig = field(default_factory=AuditConfig)
+    network: NetworkProfile = field(default_factory=NetworkProfile)
+    adversary: AdversaryProfile = field(default_factory=AdversaryProfile)
+    crypto: CryptoProfile = field(default_factory=CryptoProfile)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.options, tuple):
+            object.__setattr__(self, "options", tuple(self.options))
+        if self.voter_patience <= 0:
+            raise ValueError("voter patience must be positive")
+        if self.stagger < 0:
+            raise ValueError("voter stagger cannot be negative")
+        if self.storage not in ("memory", "postgres"):
+            raise ValueError("storage must be 'memory' or 'postgres'")
+        if self.registered_ballots is not None and self.registered_ballots < self.num_voters:
+            raise ValueError("registered ballots cannot be fewer than the simulated voters")
+        # Delegate option/threshold/voting-hour validation to the core layer.
+        params = self.to_election_parameters()
+        self._validate_adversary(params.thresholds)
+
+    def _validate_adversary(self, thresholds: FaultThresholds) -> None:
+        valid_vc = {vc_node_id(i) for i in range(self.num_vc)}
+        valid_bb = {bb_node_id(i) for i in range(self.num_bb)}
+        valid_trustees = {trustee_id(i) for i in range(self.num_trustees)}
+        unknown = set(self.adversary.vc_behaviors) - valid_vc
+        if unknown:
+            raise ValueError(f"adversary names VC nodes outside the deployment: {sorted(unknown)}")
+        unknown = set(self.adversary.bb_behaviors) - valid_bb
+        if unknown:
+            raise ValueError(f"adversary names BB nodes outside the deployment: {sorted(unknown)}")
+        unknown = set(self.adversary.trustee_behaviors) - valid_trustees
+        if unknown:
+            raise ValueError(f"adversary names trustees outside the deployment: {sorted(unknown)}")
+        if len(self.adversary.vc_behaviors) > thresholds.max_faulty_vc:
+            raise ValueError(
+                f"{len(self.adversary.vc_behaviors)} Byzantine VC nodes exceed the "
+                f"fault threshold fv={thresholds.max_faulty_vc} (Nv={self.num_vc})"
+            )
+        if len(self.adversary.bb_behaviors) > thresholds.max_faulty_bb:
+            raise ValueError(
+                f"{len(self.adversary.bb_behaviors)} Byzantine BB nodes exceed the "
+                f"fault threshold fb={thresholds.max_faulty_bb} (Nb={self.num_bb})"
+            )
+        if len(self.adversary.trustee_behaviors) > thresholds.max_faulty_trustees:
+            raise ValueError(
+                f"{len(self.adversary.trustee_behaviors)} corrupt trustees exceed the "
+                f"tolerated Nt - ht = {thresholds.max_faulty_trustees}"
+            )
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def num_options(self) -> int:
+        return len(self.options)
+
+    @property
+    def electorate(self) -> int:
+        """Registered-electorate size used by the capacity-planning model."""
+        return self.registered_ballots if self.registered_ballots is not None else self.num_voters
+
+    def to_election_parameters(self) -> ElectionParameters:
+        """The core-layer parameter object this spec describes."""
+        return ElectionParameters(
+            options=self.options,
+            num_voters=self.num_voters,
+            thresholds=FaultThresholds(
+                self.num_vc, self.num_bb, self.num_trustees, self.trustee_threshold
+            ),
+            election_start=self.election_start,
+            election_end=self.election_end,
+            election_id=self.election_id,
+            consensus_batch_size=self.consensus.batch_size,
+            batch_audit=self.audit.batch,
+            audit_workers=self.audit.workers,
+            batch_security_bits=self.audit.security_bits,
+        )
+
+    @classmethod
+    def from_election_parameters(
+        cls,
+        params: ElectionParameters,
+        *,
+        seed: int = 7,
+        audit_enabled: bool = True,
+        network: Optional[NetworkProfile] = None,
+        adversary: Optional[AdversaryProfile] = None,
+        crypto: Optional[CryptoProfile] = None,
+        voter_patience: float = 50.0,
+        stagger: float = 0.5,
+    ) -> "ScenarioSpec":
+        """Lift a legacy :class:`ElectionParameters` into a scenario spec."""
+        return cls(
+            options=tuple(params.options),
+            num_voters=params.num_voters,
+            num_vc=params.thresholds.num_vc,
+            num_bb=params.thresholds.num_bb,
+            num_trustees=params.thresholds.num_trustees,
+            trustee_threshold=params.thresholds.trustee_threshold,
+            election_id=params.election_id,
+            election_start=params.election_start,
+            election_end=params.election_end,
+            seed=seed,
+            voter_patience=voter_patience,
+            stagger=stagger,
+            consensus=ConsensusConfig(batch_size=params.consensus_batch_size),
+            audit=AuditConfig(
+                enabled=audit_enabled,
+                batch=params.batch_audit,
+                workers=params.audit_workers,
+                security_bits=params.batch_security_bits,
+            ),
+            network=network or NetworkProfile.lan(),
+            adversary=adversary or AdversaryProfile(),
+            crypto=crypto or CryptoProfile(),
+        )
+
+    def derive(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible plain-dict encoding of the whole scenario."""
+        return {
+            "options": list(self.options),
+            "num_voters": self.num_voters,
+            "num_vc": self.num_vc,
+            "num_bb": self.num_bb,
+            "num_trustees": self.num_trustees,
+            "trustee_threshold": self.trustee_threshold,
+            "election_id": self.election_id,
+            "election_start": self.election_start,
+            "election_end": self.election_end,
+            "seed": self.seed,
+            "voter_patience": self.voter_patience,
+            "stagger": self.stagger,
+            "registered_ballots": self.registered_ballots,
+            "storage": self.storage,
+            "consensus": self.consensus.to_dict(),
+            "audit": self.audit.to_dict(),
+            "network": self.network.to_dict(),
+            "adversary": self.adversary.to_dict(),
+            "crypto": self.crypto.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (full validation applies)."""
+        registered = data.get("registered_ballots")
+        return cls(
+            options=tuple(data.get("options", ("option-1", "option-2"))),
+            num_voters=int(data.get("num_voters", 4)),
+            num_vc=int(data.get("num_vc", 4)),
+            num_bb=int(data.get("num_bb", 3)),
+            num_trustees=int(data.get("num_trustees", 3)),
+            trustee_threshold=int(data.get("trustee_threshold", 2)),
+            election_id=str(data.get("election_id", "election-1")),
+            election_start=float(data.get("election_start", 0.0)),
+            election_end=float(data.get("election_end", 1_000.0)),
+            seed=int(data.get("seed", 7)),
+            voter_patience=float(data.get("voter_patience", 50.0)),
+            stagger=float(data.get("stagger", 0.5)),
+            registered_ballots=None if registered is None else int(registered),
+            storage=str(data.get("storage", "memory")),
+            consensus=ConsensusConfig.from_dict(data.get("consensus", {})),
+            audit=AuditConfig.from_dict(data.get("audit", {})),
+            network=NetworkProfile.from_dict(data.get("network", {})),
+            adversary=AdversaryProfile.from_dict(data.get("adversary", {})),
+            crypto=CryptoProfile.from_dict(data.get("crypto", {})),
+        )
+
+    # -- capacity-planning runners ----------------------------------------------
+
+    def cost_model(self, **overrides: Any) -> costmodel.CostModel:
+        """The calibrated cost model for this scenario's deployment shape."""
+        kwargs: Dict[str, Any] = dict(
+            network=self.network.cost_profile(),
+            database=costmodel.DatabaseCosts() if self.storage == "postgres" else None,
+            num_ballots=self.electorate,
+            num_options=self.num_options,
+        )
+        kwargs.update(overrides)
+        return costmodel.CostModel(**kwargs)
+
+    def load_simulator(
+        self,
+        num_clients: int,
+        seed: Optional[int] = None,
+        **model_overrides: Any,
+    ) -> VoteCollectionLoadSimulator:
+        """A closed-loop load simulator for this scenario (Figures 4/5)."""
+        return VoteCollectionLoadSimulator(
+            num_vc=self.num_vc,
+            num_clients=num_clients,
+            cost_model=self.cost_model(**model_overrides),
+            seed=self.seed if seed is None else seed,
+        )
+
+    def phase_breakdown(self, ballots_cast: int, **overrides: Any):
+        """Per-phase durations of this deployment for ``ballots_cast`` votes (Figure 5c)."""
+        from repro.perf.phases import phase_breakdown
+
+        kwargs: Dict[str, Any] = dict(
+            registered_ballots=self.electorate,
+            num_vc=self.num_vc,
+            num_options=self.num_options,
+            cost_model=self.cost_model(),
+        )
+        kwargs.update(overrides)
+        return phase_breakdown(ballots_cast, **kwargs)
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str, **changes: Any) -> "ScenarioSpec":
+        """Look up a named preset, optionally deriving field overrides."""
+        try:
+            factory = PRESETS[name]
+        except KeyError:
+            raise ValueError(f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None
+        spec = factory()
+        return spec.derive(**changes) if changes else spec
+
+
+def paper_baseline() -> ScenarioSpec:
+    """The paper's per-ballot protocol on the default small deployment.
+
+    Matches the historical ``ElectionCoordinator`` defaults exactly: one
+    consensus instance per ballot, batched audit on one worker, LAN
+    conditions, honest everything.
+    """
+    return ScenarioSpec(
+        options=("option-1", "option-2", "option-3"),
+        num_voters=5,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_id="paper-baseline",
+        election_end=500.0,
+    )
+
+
+def batched_fast() -> ScenarioSpec:
+    """Superblock Vote Set Consensus + batched parallel audit (PRs 1-2)."""
+    return ScenarioSpec(
+        options=("option-1", "option-2", "option-3"),
+        num_voters=16,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_id="batched-fast",
+        election_end=500.0,
+        consensus=ConsensusConfig(batch_size=8),
+        audit=AuditConfig(batch=True, workers=1, security_bits=64),
+    )
+
+
+def byzantine_stress() -> ScenarioSpec:
+    """Maximal in-threshold corruption: one equivocating VC, one withholding BB."""
+    return ScenarioSpec(
+        options=("option-1", "option-2"),
+        num_voters=4,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_id="byzantine-stress",
+        election_end=400.0,
+        voter_patience=10.0,
+        adversary=AdversaryProfile(
+            vc_behaviors={"VC-3": "equivocating"},
+            bb_behaviors={"BB-1": "withholding"},
+        ),
+    )
+
+
+def national_scale() -> ScenarioSpec:
+    """The paper's motivating deployment: a national yes/no referendum.
+
+    The registered electorate matches the 2012 US voting population; the
+    full-crypto engine runs a scaled-down rehearsal (``num_voters``) while
+    :meth:`ScenarioSpec.cost_model` sizes the real deployment
+    (PostgreSQL-backed, Figure 5a shape).
+    """
+    return ScenarioSpec(
+        options=("yes", "no"),
+        num_voters=6,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_id="national-referendum",
+        election_end=500.0,
+        registered_ballots=235_000_000,
+        storage="postgres",
+    )
+
+
+#: Named scenario presets, each a zero-argument factory.
+PRESETS: Dict[str, Any] = {
+    "paper_baseline": paper_baseline,
+    "batched_fast": batched_fast,
+    "byzantine_stress": byzantine_stress,
+    "national_scale": national_scale,
+}

@@ -355,5 +355,5 @@ class SuperblockConsensus:
         for bits, count in support.items():
             if count >= self.quorum:
                 self.resolved = True
-                self.on_resolve(self, dict(zip(self.serials, bits)))
+                self.on_resolve(self, dict(zip(self.serials, bits, strict=True)))
                 return

@@ -185,7 +185,7 @@ class Auditor:
             if len(openings) != len(rows):
                 report.record("d-openings-complete", False, f"ballot {serial} part {part}")
                 continue
-            for row, opening in zip(rows, openings):
+            for row, opening in zip(rows, openings, strict=True):
                 labels.append((serial, part))
                 items.append(OpeningItem(row.commitment, opening))
                 report.record(
@@ -213,7 +213,7 @@ class Auditor:
             if len(responses) != len(rows):
                 report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
                 continue
-            for row, response in zip(rows, responses):
+            for row, response in zip(rows, responses, strict=True):
                 if row.proof_announcement is None:
                     report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
                     continue
@@ -308,7 +308,7 @@ class Auditor:
             if len(openings) != len(rows):
                 report.record("d-openings-complete", False, f"ballot {serial} part {part}")
                 continue
-            for row, opening in zip(rows, openings):
+            for row, opening in zip(rows, openings, strict=True):
                 ok = scheme.verify_opening(row.commitment, opening)
                 report.record(
                     "d-valid-openings", ok, f"ballot {serial} part {part}: bad opening"
@@ -328,7 +328,7 @@ class Auditor:
             if len(responses) != len(rows):
                 report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
                 continue
-            for row, response in zip(rows, responses):
+            for row, response in zip(rows, responses, strict=True):
                 if row.proof_announcement is None:
                     report.record("e-proofs-complete", False, f"ballot {serial} part {part}")
                     continue
@@ -376,7 +376,7 @@ class Auditor:
         # Rebuild the (vote code -> option) association from the opened rows
         # and compare with the voter's printed lines.
         published = {}
-        for code, opening in zip(codes, openings):
+        for code, opening in zip(codes, openings, strict=False):
             if sum(opening.values) == 1 and all(v in (0, 1) for v in opening.values):
                 option_index = list(opening.values).index(1)
                 published[code] = self.params.options[option_index]

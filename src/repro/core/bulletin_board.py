@@ -318,7 +318,7 @@ class BulletinBoardNode(SimNode):
         verifier = BallotCorrectnessVerifier(self.init.commitment_public_key, self.group)
         for (serial, part), responses in self.result.proof_responses.items():
             rows = self.init.ballots[serial].rows[part]
-            for row, response in zip(rows, responses):
+            for row, response in zip(rows, responses, strict=False):
                 if row.proof_announcement is None:
                     return False
                 if not verifier.verify(

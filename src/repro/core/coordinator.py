@@ -1,94 +1,47 @@
-"""End-to-end election orchestration on the discrete-event simulator.
+"""Deprecated one-shot election coordinator (thin shim over the engine).
 
-:class:`ElectionCoordinator` wires everything together the way an operator
-would deploy the real system: it runs the EA setup, instantiates VC nodes,
-BB nodes, voters (and optionally Byzantine variants), runs the voting phase
-on the network simulator, triggers election end, lets Vote Set Consensus and
-the BB uploads complete, runs the trustee phase, and finally returns an
-:class:`ElectionOutcome` with the published tally, per-voter results and
-statistics.  It is the main public entry point used by the examples and the
-integration tests.
+:class:`ElectionCoordinator` was the original public entry point: it wired a
+complete D-DEMOS election together and ran the phases in a hardwired
+sequence.  The public API is now the scenario-driven engine --
+:class:`repro.api.spec.ScenarioSpec` + :class:`repro.api.engine.ElectionEngine`
+(single election) and :class:`repro.api.service.MultiElectionService` (many
+elections) -- and this class remains only so existing callers keep working.
+It delegates every phase to the engine's drivers; :meth:`run_election` emits
+a :class:`DeprecationWarning` pointing at the replacement.
+
+:class:`ElectionOutcome` moved to :mod:`repro.core.outcome` and is re-exported
+here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Type
+import warnings
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Type
 
-from repro.core.auditor import Auditor, AuditReport
-from repro.core.bulletin_board import BulletinBoardNode, MajorityReader
-from repro.core.ea import (
-    ElectionAuthority,
-    ElectionSetup,
-    bb_node_id,
-    trustee_id,
-    vc_node_id,
-    voter_id,
-)
+from repro.core.bulletin_board import BulletinBoardNode
+from repro.core.ea import ElectionSetup
 from repro.core.election import ElectionParameters
-from repro.core.tally import TallyResult, expected_tally
+from repro.core.outcome import ElectionOutcome  # noqa: F401  (re-export)
+from repro.core.tally import TallyResult
 from repro.core.trustee import Trustee
 from repro.core.vote_collector import VoteCollectorNode
-from repro.core.voter import VoterClient
-from repro.crypto.group import Group, default_group
+from repro.crypto.group import Group
 from repro.crypto.utils import RandomSource
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.simulator import Network
-from repro.perf.parallel import ParallelConfig
 
-
-@dataclass
-class ElectionOutcome:
-    """Everything an election run produces."""
-
-    setup: ElectionSetup
-    network: Network
-    vote_collectors: List[VoteCollectorNode]
-    bb_nodes: List[BulletinBoardNode]
-    trustees: List[Trustee]
-    voters: List[VoterClient]
-    tally: Optional[TallyResult]
-    audit_report: Optional[AuditReport]
-
-    @property
-    def receipts_obtained(self) -> int:
-        """How many voters obtained a (valid) receipt."""
-        return sum(1 for voter in self.voters if voter.receipt is not None)
-
-    @property
-    def consensus_stats(self) -> Dict[str, int]:
-        """Aggregate Vote Set Consensus counters across all VC nodes.
-
-        Keys match :class:`repro.core.vote_collector.VscStats`; with
-        ``consensus_batch_size > 1`` the superblock counters show how many
-        blocks took the fast path versus falling back to per-ballot consensus.
-        """
-        totals: Dict[str, int] = {}
-        for node in self.vote_collectors:
-            for key, value in node.vsc_stats.as_dict().items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
-
-    @property
-    def all_receipts_valid(self) -> bool:
-        """Whether every obtained receipt matched the ballot's printed receipt."""
-        return all(voter.receipt_valid for voter in self.voters if voter.receipt is not None)
-
-    @property
-    def audit_timings(self) -> Dict[str, float]:
-        """Measured per-phase audit durations (empty for the per-item path)."""
-        if self.audit_report is None:
-            return {}
-        return dict(self.audit_report.timings)
-
-    def expected_tally(self) -> TallyResult:
-        """The plaintext tally implied by the voters' intended choices."""
-        choices = [voter.choice for voter in self.voters if voter.receipt is not None]
-        return expected_tally(self.setup.params.options, choices)
+if TYPE_CHECKING:  # imported lazily at runtime to break the package cycle
+    from repro.api.engine import ElectionEngine
 
 
 class ElectionCoordinator:
-    """Builds and runs a complete D-DEMOS election on the simulator."""
+    """Deprecated: builds and runs a complete election on the simulator.
+
+    Use :class:`repro.api.engine.ElectionEngine` (driven by a
+    :class:`repro.api.spec.ScenarioSpec`) instead; see the migration guide in
+    the README.  The constructor keyword arguments are forwarded to the
+    engine's injection points, so behaviour is unchanged.
+    """
 
     def __init__(
         self,
@@ -103,36 +56,73 @@ class ElectionCoordinator:
         include_proofs: bool = True,
         seed: int = 7,
     ):
+        # Imported here, not at module level: repro.core re-exports this shim
+        # while repro.api builds on repro.core, so a top-level import would
+        # cycle through the two package __init__ modules.
+        from repro.api.engine import ElectionEngine
+        from repro.api.spec import ScenarioSpec
+
         self.params = params
-        self.group = group or default_group()
-        self.conditions = conditions or NetworkConditions.lan(seed=seed)
-        self.adversary = adversary or Adversary()
-        self.rng = rng
-        self.vc_node_classes = vc_node_classes or {}
-        self.bb_node_classes = bb_node_classes or {}
-        self.trustee_classes = trustee_classes or {}
-        self.include_proofs = include_proofs
         self.seed = seed
+        spec = ScenarioSpec.from_election_parameters(params, seed=seed)
+        self._engine = ElectionEngine(
+            spec,
+            group=group,
+            conditions=conditions or NetworkConditions.lan(seed=seed),
+            adversary=adversary,
+            rng=rng,
+            vc_node_classes=vc_node_classes,
+            bb_node_classes=bb_node_classes,
+            trustee_classes=trustee_classes,
+            include_proofs=include_proofs,
+        )
+        self._ctx = self._engine.begin()
 
-        self.setup: Optional[ElectionSetup] = None
-        self.network: Optional[Network] = None
-        self.vote_collectors: List[VoteCollectorNode] = []
-        self.bb_nodes: List[BulletinBoardNode] = []
-        self.trustees: List[Trustee] = []
-        self.voters: List[VoterClient] = []
+    # -- state passthrough (the old attribute surface) ---------------------------
 
-    # -- phases -----------------------------------------------------------------
+    @property
+    def engine(self) -> "ElectionEngine":
+        """The engine this shim delegates to."""
+        return self._engine
+
+    @property
+    def group(self) -> Group:
+        return self._ctx.group
+
+    @property
+    def rng(self) -> RandomSource:
+        return self._ctx.rng
+
+    @property
+    def setup(self) -> Optional[ElectionSetup]:
+        return self._ctx.setup
+
+    @property
+    def network(self) -> Optional[Network]:
+        return self._ctx.network
+
+    @property
+    def vote_collectors(self):
+        return self._ctx.vote_collectors
+
+    @property
+    def bb_nodes(self):
+        return self._ctx.bb_nodes
+
+    @property
+    def trustees(self):
+        return self._ctx.trustees
+
+    @property
+    def voters(self):
+        return self._ctx.voters
+
+    # -- phases ------------------------------------------------------------------
 
     def run_setup(self) -> ElectionSetup:
         """Phase 0: the EA produces all initialization data and is destroyed."""
-        authority = ElectionAuthority(
-            self.params,
-            group=self.group,
-            rng=self.rng,
-            include_proofs=self.include_proofs,
-        )
-        self.setup = authority.setup()
-        return self.setup
+        self._engine.driver("setup").run(self._ctx)
+        return self._ctx.setup
 
     def build_components(
         self,
@@ -141,98 +131,32 @@ class ElectionCoordinator:
         voter_parts: Optional[Sequence[str]] = None,
     ) -> None:
         """Phase 1: instantiate the network, VC/BB nodes and voter clients."""
-        if self.setup is None:
+        if self._ctx.setup is None:
             self.run_setup()
-        setup = self.setup
-        params = self.params
-        self.network = Network(conditions=self.conditions, adversary=self.adversary)
-
-        # Vote collectors (possibly with Byzantine substitutes).
-        for index in range(params.thresholds.num_vc):
-            node_id = vc_node_id(index)
-            cls = self.vc_node_classes.get(node_id, VoteCollectorNode)
-            node = cls(setup.vc_init[node_id], params)
-            self.vote_collectors.append(node)
-            self.network.register(node)
-
-        # Bulletin board nodes.
-        for index in range(params.thresholds.num_bb):
-            node_id = bb_node_id(index)
-            cls = self.bb_node_classes.get(node_id, BulletinBoardNode)
-            node = cls(node_id, setup.bb_init, params, self.group)
-            self.bb_nodes.append(node)
-            self.network.register(node)
-
-        # Trustees (not SimNodes: the tabulation phase is sequential).
-        for index in range(params.thresholds.num_trustees):
-            node_id = trustee_id(index)
-            cls = self.trustee_classes.get(node_id, Trustee)
-            self.trustees.append(cls(setup.trustee_init[node_id], params, self.group))
-
-        # Voters.
-        if len(choices) != params.num_voters:
-            raise ValueError("need exactly one choice per voter")
-        vc_ids = [vc_node_id(i) for i in range(params.thresholds.num_vc)]
-        for index, choice in enumerate(choices):
-            part = voter_parts[index] if voter_parts is not None else None
-            voter = VoterClient(
-                voter_id(index),
-                setup.ballots[index],
-                vc_ids,
-                choice,
-                patience=voter_patience,
-                part_choice=part,
-                seed=self.seed + index,
-            )
-            self.voters.append(voter)
-            self.network.register(voter)
+        self._ctx.choices = list(choices)
+        self._ctx.voter_parts = voter_parts
+        self._ctx.voter_patience = voter_patience
+        self._engine.driver("voting").prepare(self._ctx)
 
     def run_voting_phase(self, stagger: float = 0.5) -> None:
-        """Phase 2: voters cast their votes; VC nodes issue receipts."""
-        for index, voter in enumerate(self.voters):
-            self.network.schedule(index * stagger, voter.start_voting, description="voter-start")
-        # End the election: VC nodes freeze and start Vote Set Consensus.
-        end_time = self.params.election_end
-        for node in self.vote_collectors:
-            self.network.schedule_at(end_time, node.end_election, description="election-end")
-        self.network.run_until_idle()
+        """Phase 2: voters cast votes, then Vote Set Consensus runs to completion."""
+        self._ctx.stagger = stagger
+        voting = self._engine.driver("voting")
+        consensus = self._engine.driver("consensus")
+        voting.schedule(self._ctx)
+        voting.execute(self._ctx)
+        consensus.schedule(self._ctx)
+        consensus.execute(self._ctx)
 
     def run_trustee_phase(self) -> Optional[TallyResult]:
         """Phase 3: trustees read the BB, compute shares and post them back."""
-        reader = MajorityReader(self.bb_nodes, self.params)
-        try:
-            view = reader.election_view()
-        except ValueError:
-            return None
-        for trustee in self.trustees:
-            submission = trustee.produce_submission(view)
-            for bb in self.bb_nodes:
-                bb.receive_trustee_submission(submission)
-        try:
-            return reader.tally()
-        except ValueError:
-            return None
+        self._engine.driver("tally").execute(self._ctx)
+        return self._ctx.tally
 
-    def run_audit(self) -> AuditReport:
-        """Phase 4: an independent auditor verifies the whole election.
-
-        With ``params.batch_audit`` (the default) the openings and proofs
-        are batch-verified across ``params.audit_workers`` processes; the
-        per-item reference audit remains available by turning the flag off.
-        """
-        auditor = Auditor(
-            self.bb_nodes,
-            self.params,
-            self.group,
-            security_bits=self.params.batch_security_bits,
-        )
-        delegations = [voter.audit_info() for voter in self.voters if voter.receipt is not None]
-        if not self.params.batch_audit:
-            return auditor.audit(delegations)
-        # base_seed stays None: the batching exponents must be unpredictable
-        # to whoever produced the proofs, or the 2^-bits soundness bound dies.
-        parallel = ParallelConfig(workers=self.params.audit_workers)
-        return auditor.verify_all(delegations, parallel=parallel)
+    def run_audit(self):
+        """Phase 4: an independent auditor verifies the whole election."""
+        self._engine.driver("audit").execute(self._ctx)
+        return self._ctx.audit_report
 
     # -- one-call entry point -----------------------------------------------------
 
@@ -245,18 +169,17 @@ class ElectionCoordinator:
         stagger: float = 0.5,
     ) -> ElectionOutcome:
         """Run setup, voting, tabulation and (optionally) a full audit."""
+        warnings.warn(
+            "ElectionCoordinator.run_election is deprecated; build a "
+            "repro.api.ScenarioSpec and run it through repro.api.ElectionEngine "
+            "(or MultiElectionService for many elections)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.run_setup()
         self.build_components(choices, voter_patience=voter_patience, voter_parts=voter_parts)
         self.run_voting_phase(stagger=stagger)
         tally = self.run_trustee_phase()
-        audit_report = self.run_audit() if (with_audit and tally is not None) else None
-        return ElectionOutcome(
-            setup=self.setup,
-            network=self.network,
-            vote_collectors=self.vote_collectors,
-            bb_nodes=self.bb_nodes,
-            trustees=self.trustees,
-            voters=self.voters,
-            tally=tally,
-            audit_report=audit_report,
-        )
+        if with_audit and tally is not None:
+            self.run_audit()
+        return self._engine.outcome()

@@ -11,6 +11,7 @@ whose sizes and fault thresholds must satisfy:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -59,6 +60,18 @@ class FaultThresholds:
             raise ValueError("trustee threshold must be between 1 and Nt")
 
 
+def validate_audit_flags(workers: Optional[int], security_bits: int) -> None:
+    """Shared bounds check for the audit knobs.
+
+    Single source of truth used by both :class:`ElectionParameters` and the
+    API layer's ``AuditConfig``.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError("audit workers must be at least 1 (or None for all cores)")
+    if not 8 <= security_bits <= 128:
+        raise ValueError("batch security parameter must be between 8 and 128 bits")
+
+
 @dataclass(frozen=True)
 class ElectionParameters:
     """Everything that defines one election."""
@@ -91,15 +104,19 @@ class ElectionParameters:
             raise ValueError("option labels must be unique")
         if self.num_voters < 1:
             raise ValueError("an election needs at least one voter")
+        if not (math.isfinite(self.election_start) and math.isfinite(self.election_end)):
+            raise ValueError("voting hours must be finite timestamps")
         if self.election_end <= self.election_start:
             raise ValueError("election must end after it starts")
         if self.consensus_batch_size < 1:
             raise ValueError("consensus batch size must be at least 1")
-        if self.audit_workers is not None and self.audit_workers < 1:
-            raise ValueError("audit workers must be at least 1 (or None for all cores)")
-        if not 8 <= self.batch_security_bits <= 128:
-            raise ValueError("batch security parameter must be between 8 and 128 bits")
+        validate_audit_flags(self.audit_workers, self.batch_security_bits)
         self.thresholds.validate()
+        # O(1) label lookups for the hot option_index path (frozen dataclass,
+        # so the cache is installed via object.__setattr__).
+        object.__setattr__(
+            self, "_option_lookup", {label: index for index, label in enumerate(self.options)}
+        )
 
     @property
     def num_options(self) -> int:
@@ -108,7 +125,10 @@ class ElectionParameters:
 
     def option_index(self, label: str) -> int:
         """Return the canonical index of an option label."""
-        return list(self.options).index(label)
+        try:
+            return self._option_lookup[label]
+        except KeyError:
+            raise ValueError(f"{label!r} is not one of this election's options") from None
 
     def within_voting_hours(self, timestamp: float) -> bool:
         """Whether a vote submitted at ``timestamp`` is inside voting hours."""
@@ -126,6 +146,7 @@ class ElectionParameters:
         consensus_batch_size: int = 1,
         batch_audit: bool = True,
         audit_workers: Optional[int] = 1,
+        batch_security_bits: int = 64,
     ) -> "ElectionParameters":
         """Convenience constructor used heavily by tests and examples."""
         options = [f"option-{i + 1}" for i in range(num_options)]
@@ -138,4 +159,5 @@ class ElectionParameters:
             consensus_batch_size=consensus_batch_size,
             batch_audit=batch_audit,
             audit_workers=audit_workers,
+            batch_security_bits=batch_security_bits,
         )

@@ -1,0 +1,77 @@
+"""The result object an election run produces.
+
+:class:`ElectionOutcome` used to live inside ``repro.core.coordinator``; it
+moved here so both the new event-driven engine (:mod:`repro.api.engine`) and
+the deprecated :class:`~repro.core.coordinator.ElectionCoordinator` shim can
+return the same type without importing each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.auditor import AuditReport
+from repro.core.bulletin_board import BulletinBoardNode
+from repro.core.ea import ElectionSetup
+from repro.core.tally import TallyResult, expected_tally
+from repro.core.trustee import Trustee
+from repro.core.vote_collector import VoteCollectorNode
+from repro.core.voter import VoterClient
+from repro.net.simulator import Network
+
+
+@dataclass
+class ElectionOutcome:
+    """Everything an election run produces."""
+
+    setup: ElectionSetup
+    network: Network
+    vote_collectors: List[VoteCollectorNode]
+    bb_nodes: List[BulletinBoardNode]
+    trustees: List[Trustee]
+    voters: List[VoterClient]
+    tally: Optional[TallyResult]
+    audit_report: Optional[AuditReport]
+    #: typed progress events emitted by the engine, in emission order (empty
+    #: when the run came through the deprecated coordinator phase methods).
+    events: List = field(default_factory=list)
+    #: per-phase durations in *simulated* time (seconds of network time), so
+    #: they are deterministic for a fixed scenario seed.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def receipts_obtained(self) -> int:
+        """How many voters obtained a (valid) receipt."""
+        return sum(1 for voter in self.voters if voter.receipt is not None)
+
+    @property
+    def consensus_stats(self) -> Dict[str, int]:
+        """Aggregate Vote Set Consensus counters across all VC nodes.
+
+        Keys match :class:`repro.core.vote_collector.VscStats`; with
+        ``consensus_batch_size > 1`` the superblock counters show how many
+        blocks took the fast path versus falling back to per-ballot consensus.
+        """
+        totals: Dict[str, int] = {}
+        for node in self.vote_collectors:
+            for key, value in node.vsc_stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    @property
+    def all_receipts_valid(self) -> bool:
+        """Whether every obtained receipt matched the ballot's printed receipt."""
+        return all(voter.receipt_valid for voter in self.voters if voter.receipt is not None)
+
+    @property
+    def audit_timings(self) -> Dict[str, float]:
+        """Measured per-phase audit durations (empty for the per-item path)."""
+        if self.audit_report is None:
+            return {}
+        return dict(self.audit_report.timings)
+
+    def expected_tally(self) -> TallyResult:
+        """The plaintext tally implied by the voters' intended choices."""
+        choices = [voter.choice for voter in self.voters if voter.receipt is not None]
+        return expected_tally(self.setup.params.options, choices)

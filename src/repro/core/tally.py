@@ -36,7 +36,7 @@ class TallyResult:
 
     def as_dict(self) -> Dict[str, int]:
         """Return ``{option label: count}``."""
-        return dict(zip(self.options, self.counts))
+        return dict(zip(self.options, self.counts, strict=True))
 
     def winner(self) -> str:
         """Return the label of the option with the most votes (ties: first)."""

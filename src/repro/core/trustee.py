@@ -148,10 +148,13 @@ class Trustee:
                         tally_randomness_shares = randomness_shares
                     else:
                         tally_value_shares = [
-                            a + b for a, b in zip(tally_value_shares, value_shares)
+                            a + b for a, b in zip(tally_value_shares, value_shares, strict=True)
                         ]
                         tally_randomness_shares = [
-                            a + b for a, b in zip(tally_randomness_shares, randomness_shares)
+                            a + b
+                            for a, b in zip(
+                                tally_randomness_shares, randomness_shares, strict=True
+                            )
                         ]
                 else:
                     # Unused part (or unvoted ballot): open every row.

@@ -281,6 +281,7 @@ class BatchVerifier:
                 item.commitment.ciphertexts,
                 item.announcement.or_announcements,
                 item.response.or_responses,
+                strict=False,
             ):
                 z1 = self._small_exponent()
                 z2 = self._small_exponent()
@@ -345,7 +346,8 @@ class BatchVerifier:
         public_key = self._opening_public_key
         for item in items:
             for ciphertext, value, randomness in zip(
-                item.commitment.ciphertexts, item.opening.values, item.opening.randomness
+                item.commitment.ciphertexts, item.opening.values, item.opening.randomness,
+                strict=False,
             ):
                 z = self._small_exponent()
                 w = self._small_exponent()
@@ -430,7 +432,8 @@ class _SingleOpening:
         return all(
             self.elgamal.open(self.public_key, ciphertext, value, randomness)
             for ciphertext, value, randomness in zip(
-                item.commitment.ciphertexts, item.opening.values, item.opening.randomness
+                item.commitment.ciphertexts, item.opening.values, item.opening.randomness,
+                strict=False,
             )
         )
 

@@ -31,8 +31,8 @@ class CommitmentOpening:
     def __add__(self, other: "CommitmentOpening") -> "CommitmentOpening":
         if len(self.values) != len(other.values):
             raise ValueError("cannot add openings of different lengths")
-        values = tuple(a + b for a, b in zip(self.values, other.values))
-        randomness = tuple(a + b for a, b in zip(self.randomness, other.randomness))
+        values = tuple(a + b for a, b in zip(self.values, other.values, strict=True))
+        randomness = tuple(a + b for a, b in zip(self.randomness, other.randomness, strict=True))
         return CommitmentOpening(values, randomness)
 
 
@@ -49,7 +49,7 @@ class OptionCommitment:
         """Homomorphically add two committed vectors."""
         if len(self) != len(other):
             raise ValueError("cannot combine commitments of different lengths")
-        combined = tuple(a * b for a, b in zip(self.ciphertexts, other.ciphertexts))
+        combined = tuple(a * b for a, b in zip(self.ciphertexts, other.ciphertexts, strict=True))
         return OptionCommitment(combined)
 
     def serialize(self) -> bytes:
@@ -101,7 +101,7 @@ class OptionEncodingScheme:
         randomness = tuple(self.group.random_scalar(rng) for _ in vector)
         ciphertexts = tuple(
             self.elgamal.encrypt(self.public_key, value, randomness=r)
-            for value, r in zip(vector, randomness)
+            for value, r in zip(vector, randomness, strict=True)
         )
         commitment = OptionCommitment(ciphertexts)
         opening = CommitmentOpening(tuple(vector), randomness)
@@ -122,7 +122,7 @@ class OptionEncodingScheme:
         if len(commitment) != len(opening.values):
             return False
         for ciphertext, value, randomness in zip(
-            commitment.ciphertexts, opening.values, opening.randomness
+            commitment.ciphertexts, opening.values, opening.randomness, strict=False
         ):
             if not self.elgamal.open(self.public_key, ciphertext, value, randomness):
                 return False

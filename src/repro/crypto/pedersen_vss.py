@@ -44,7 +44,7 @@ class PedersenCommitments:
         if len(self.commitments) != len(other.commitments):
             raise ValueError("mismatched polynomial degrees")
         return PedersenCommitments(
-            tuple(a * b for a, b in zip(self.commitments, other.commitments))
+            tuple(a * b for a, b in zip(self.commitments, other.commitments, strict=True))
         )
 
 
@@ -82,7 +82,7 @@ class PedersenVSS:
         f_coeffs = [secret] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
         r_coeffs = [blinding] + [self.group.random_scalar(rng) for _ in range(self.threshold - 1)]
         commitments = tuple(
-            self._pedersen_commit(a, b) for a, b in zip(f_coeffs, r_coeffs)
+            self._pedersen_commit(a, b) for a, b in zip(f_coeffs, r_coeffs, strict=True)
         )
         shares = tuple(
             PedersenShare(i, self._evaluate(f_coeffs, i), self._evaluate(r_coeffs, i))

@@ -120,13 +120,13 @@ class VoteCodeCipher:
         if iv is None:
             iv = rng.randbytes(16)
         keystream = self._keystream(iv, len(plaintext))
-        ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+        ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream, strict=True))
         return EncryptedVoteCode(iv, ciphertext)
 
     def decrypt(self, encrypted: EncryptedVoteCode) -> bytes:
         """Decrypt an encrypted vote code."""
         keystream = self._keystream(encrypted.iv, len(encrypted.ciphertext))
-        return bytes(c ^ k for c, k in zip(encrypted.ciphertext, keystream))
+        return bytes(c ^ k for c, k in zip(encrypted.ciphertext, keystream, strict=True))
 
     def key_commitment(self, rng: Optional[RandomSource] = None) -> KeyCommitment:
         """Produce ``(H_msk, salt_msk)`` for the BB nodes."""

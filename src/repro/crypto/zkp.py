@@ -127,7 +127,7 @@ class BallotCorrectnessProver:
         or_announcements = []
         or_state = []
         for ciphertext, bit, randomness in zip(
-            commitment.ciphertexts, opening.values, opening.randomness
+            commitment.ciphertexts, opening.values, opening.randomness, strict=True
         ):
             if bit not in (0, 1):
                 raise ValueError("ballot proof requires 0/1 plaintexts")
@@ -207,7 +207,8 @@ class BallotCorrectnessVerifier:
             return False
 
         for ciphertext, ann, resp in zip(
-            commitment.ciphertexts, announcement.or_announcements, response.or_responses
+            commitment.ciphertexts, announcement.or_announcements, response.or_responses,
+            strict=True,
         ):
             if (resp.challenge0 + resp.challenge1) % q != challenge:
                 return False

@@ -134,10 +134,12 @@ def parallel_chunk_map(
     chunks = split_chunks(items, chunk_size)
     seeds = chunk_seeds(config.base_seed, len(chunks))
     if config.use_serial(len(items)):
-        return [chunk_fn(chunk, seed) for chunk, seed in zip(chunks, seeds)]
+        return [chunk_fn(chunk, seed) for chunk, seed in zip(chunks, seeds, strict=True)]
     workers = min(config.resolved_workers(), len(chunks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_call_chunk, [(chunk_fn, c, s) for c, s in zip(chunks, seeds)]))
+        return list(
+            pool.map(_call_chunk, [(chunk_fn, c, s) for c, s in zip(chunks, seeds, strict=True)])
+        )
 
 
 def _call_chunk(

@@ -1,0 +1,194 @@
+"""ScenarioSpec: validation, serialization round-trips and presets."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PRESETS,
+    AdversaryProfile,
+    AuditConfig,
+    ConsensusConfig,
+    CryptoProfile,
+    NetworkProfile,
+    ScenarioSpec,
+)
+from repro.core.byzantine import SilentVoteCollector
+from repro.net.adversary import NetworkConditions
+from repro.perf import costmodel
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        ScenarioSpec()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"options": ("only-one",)},
+            {"options": ("dup", "dup")},
+            {"num_voters": 0},
+            {"num_vc": 3},
+            {"num_bb": 0},
+            {"trustee_threshold": 0},
+            {"trustee_threshold": 4},
+            {"election_end": 0.0},
+            {"election_start": float("inf"), "election_end": float("inf")},
+            {"election_end": float("nan")},
+            {"voter_patience": 0.0},
+            {"stagger": -1.0},
+            {"storage": "mysql"},
+            {"registered_ballots": 1},
+        ],
+    )
+    def test_invalid_field_rejected(self, changes):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**{**dict(num_voters=4), **changes})
+
+    def test_invalid_subconfigs_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            AuditConfig(workers=0)
+        with pytest.raises(ValueError):
+            AuditConfig(security_bits=4)
+        with pytest.raises(ValueError):
+            NetworkProfile(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            CryptoProfile(group="rsa")
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(ValueError, match="unknown VC behaviour"):
+            AdversaryProfile(vc_behaviors={"VC-0": "helpful"})
+
+    def test_adversary_outside_deployment_rejected(self):
+        with pytest.raises(ValueError, match="outside the deployment"):
+            ScenarioSpec(adversary=AdversaryProfile(vc_behaviors={"VC-9": "silent"}))
+
+    def test_adversary_over_fault_threshold_rejected(self):
+        two_faulty = AdversaryProfile(
+            vc_behaviors={"VC-0": "silent", "VC-1": "silent"}
+        )
+        with pytest.raises(ValueError, match="exceed the fault threshold"):
+            ScenarioSpec(num_vc=4, adversary=two_faulty)
+        # The same corruption is fine once Nv tolerates fv = 2.
+        ScenarioSpec(num_vc=7, adversary=two_faulty)
+
+    def test_derive_revalidates(self):
+        spec = ScenarioSpec()
+        with pytest.raises(ValueError):
+            spec.derive(num_voters=-1)
+
+
+class TestRoundTrip:
+    def test_to_dict_is_json_compatible(self):
+        spec = ScenarioSpec.preset("byzantine_stress")
+        encoded = json.dumps(spec.to_dict())
+        assert ScenarioSpec.from_dict(json.loads(encoded)) == spec
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_round_trips(self, name):
+        spec = ScenarioSpec.preset(name)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_preserves_custom_fields(self):
+        spec = ScenarioSpec(
+            options=("a", "b", "c"),
+            num_voters=9,
+            num_vc=7,
+            seed=123,
+            registered_ballots=50_000,
+            storage="postgres",
+            consensus=ConsensusConfig(batch_size=4),
+            audit=AuditConfig(enabled=False, batch=False, workers=None, security_bits=96),
+            network=NetworkProfile.wan(drop_rate=0.01),
+            adversary=AdversaryProfile(
+                vc_behaviors={"VC-1": "silent"},
+                blocked_links=(("VC-0", "VC-1"),),
+            ),
+            crypto=CryptoProfile(include_proofs=False),
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.audit.workers is None
+        assert clone.adversary.blocked_links == (("VC-0", "VC-1"),)
+
+
+class TestDerivedViews:
+    def test_election_parameters_carry_all_flags(self):
+        spec = ScenarioSpec(
+            consensus=ConsensusConfig(batch_size=4),
+            audit=AuditConfig(batch=False, workers=2, security_bits=80),
+        )
+        params = spec.to_election_parameters()
+        assert params.consensus_batch_size == 4
+        assert params.batch_audit is False
+        assert params.audit_workers == 2
+        assert params.batch_security_bits == 80
+
+    def test_from_election_parameters_round_trips(self):
+        spec = ScenarioSpec.preset("batched_fast")
+        params = spec.to_election_parameters()
+        lifted = ScenarioSpec.from_election_parameters(params, seed=spec.seed)
+        assert lifted.to_election_parameters() == params
+
+    def test_adversary_profile_resolves_classes(self):
+        profile = AdversaryProfile(vc_behaviors={"VC-2": "silent"})
+        assert profile.vc_classes() == {"VC-2": SilentVoteCollector}
+        adversary = profile.build_adversary()
+        assert adversary.is_corrupted("VC-2")
+
+    def test_network_profile_feeds_both_runners(self):
+        profile = NetworkProfile.wan()
+        conditions = profile.conditions(seed=3)
+        assert isinstance(conditions, NetworkConditions)
+        assert conditions.base_latency == pytest.approx(0.025)
+        cost = profile.cost_profile()
+        assert isinstance(cost, costmodel.NetworkProfile)
+        assert cost.inter_vc_ms == pytest.approx(25.0)
+        assert cost.name == "wan"
+
+    def test_cost_model_uses_storage_and_electorate(self):
+        spec = ScenarioSpec.preset("national_scale")
+        model = spec.cost_model()
+        assert model.database is not None
+        assert model.num_ballots == 235_000_000
+        assert spec.derive(storage="memory").cost_model().database is None
+
+    def test_load_simulator_shape(self):
+        spec = ScenarioSpec(num_vc=7, registered_ballots=10_000)
+        sim = spec.load_simulator(num_clients=50)
+        assert sim.num_vc == 7
+        assert sim.num_clients == 50
+        assert sim.model.num_ballots == 10_000
+
+    def test_phase_breakdown_delegates_to_spec_shape(self):
+        spec = ScenarioSpec(
+            options=tuple(f"o{i}" for i in range(4)),
+            num_voters=4,
+            registered_ballots=200_000,
+            storage="postgres",
+        )
+        phases = spec.phase_breakdown(50_000)
+        assert phases.ballots_cast == 50_000
+        assert phases.vote_collection_s > 0
+
+
+class TestPresets:
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            ScenarioSpec.preset("nope")
+
+    def test_preset_overrides(self):
+        spec = ScenarioSpec.preset("paper_baseline", seed=42, num_voters=7)
+        assert spec.seed == 42
+        assert spec.num_voters == 7
+
+    def test_batched_fast_batches(self):
+        assert ScenarioSpec.preset("batched_fast").consensus.batch_size > 1
+
+    def test_byzantine_stress_is_within_thresholds(self):
+        spec = ScenarioSpec.preset("byzantine_stress")
+        assert not spec.adversary.is_honest
+        assert len(spec.adversary.vc_behaviors) <= (spec.num_vc - 1) // 3
+        assert len(spec.adversary.bb_behaviors) <= (spec.num_bb - 1) // 2

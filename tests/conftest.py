@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.coordinator import ElectionCoordinator
-from repro.core.election import ElectionParameters
+from repro.api import ElectionEngine, ScenarioSpec
 from repro.crypto.elgamal import LiftedElGamal
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.utils import RandomSource
@@ -35,20 +34,32 @@ def rng():
 
 
 @pytest.fixture(scope="session")
-def small_params():
-    """A small but fully fault-tolerant election: 4 VC, 3 BB, 3 trustees."""
-    return ElectionParameters.small_test_election(
-        num_voters=4, num_options=2, num_vc=4, num_bb=3, num_trustees=3,
-        trustee_threshold=2, election_end=200.0,
+def small_spec():
+    """A small but fully fault-tolerant scenario: 4 VC, 3 BB, 3 trustees."""
+    return ScenarioSpec(
+        options=("option-1", "option-2"),
+        num_voters=4,
+        num_vc=4,
+        num_bb=3,
+        num_trustees=3,
+        trustee_threshold=2,
+        election_end=200.0,
+        seed=5,
     )
 
 
 @pytest.fixture(scope="session")
-def small_outcome(small_params):
+def small_params(small_spec):
+    """The core-layer parameters of the shared scenario."""
+    return small_spec.to_election_parameters()
+
+
+@pytest.fixture(scope="session")
+def small_outcome(small_spec):
     """One complete, honest election run shared by read-only integration tests."""
-    coordinator = ElectionCoordinator(small_params, seed=5)
+    engine = ElectionEngine(small_spec)
     choices = ["option-1", "option-2", "option-1", "option-1"]
-    return coordinator.run_election(choices)
+    return engine.run(choices)
 
 
 @pytest.fixture(scope="session")

@@ -52,6 +52,33 @@ class TestElectionParameters:
         params = ElectionParameters.small_test_election(num_options=3)
         assert params.option_index("option-2") == 1
 
+    def test_option_index_rejects_unknown_label(self):
+        params = ElectionParameters.small_test_election(num_options=3)
+        with pytest.raises(ValueError):
+            params.option_index("option-99")
+
+    def test_option_index_covers_every_option(self):
+        params = ElectionParameters.small_test_election(num_options=10)
+        for index, label in enumerate(params.options):
+            assert params.option_index(label) == index
+
+    def test_small_test_election_forwards_batch_security_bits(self):
+        params = ElectionParameters.small_test_election(batch_security_bits=96)
+        assert params.batch_security_bits == 96
+
+    def test_rejects_non_finite_voting_hours(self):
+        thresholds = FaultThresholds(4, 3, 3, 2)
+        for start, end in (
+            (0.0, float("inf")),
+            (float("-inf"), 100.0),
+            (0.0, float("nan")),
+        ):
+            with pytest.raises(ValueError):
+                ElectionParameters(
+                    options=["a", "b"], num_voters=1, thresholds=thresholds,
+                    election_start=start, election_end=end,
+                )
+
     def test_voting_hours(self):
         params = ElectionParameters.small_test_election(election_end=100.0)
         assert params.within_voting_hours(0.0)

@@ -64,7 +64,7 @@ class TestVoterCoins:
 class TestHomomorphicOpening:
     def test_open_tally_counts_votes(self, scheme):
         votes = [0, 0, 2, 1, 0]
-        commitments, openings = zip(*(scheme.commit_option(v) for v in votes))
+        commitments, openings = zip(*(scheme.commit_option(v) for v in votes), strict=True)
         combined = combine_tally_commitments(scheme, commitments)
         opening = scheme.combine_openings(list(openings))
         result = open_tally(scheme, combined, opening, ["a", "b", "c"])
@@ -72,7 +72,7 @@ class TestHomomorphicOpening:
         assert result.total_votes == 5
 
     def test_open_tally_rejects_bad_opening(self, scheme):
-        commitments, openings = zip(*(scheme.commit_option(v) for v in (0, 1)))
+        commitments, openings = zip(*(scheme.commit_option(v) for v in (0, 1)), strict=True)
         combined = combine_tally_commitments(scheme, commitments)
         bad_opening = openings[0]
         with pytest.raises(ValueError):

@@ -66,7 +66,7 @@ class TestVotingOutcome:
         options = small_outcome.setup.params.options
         code_to_option = {
             code: options[list(opening.values).index(1)]
-            for code, opening in zip(codes, openings)
+            for code, opening in zip(codes, openings, strict=True)
         }
         opened_options = [
             code_to_option[line.vote_code]

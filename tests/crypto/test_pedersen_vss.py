@@ -58,14 +58,14 @@ class TestHomomorphism:
     def test_share_addition_reconstructs_sum(self, vss):
         a = vss.deal(10, rng=RandomSource(8))
         b = vss.deal(32, rng=RandomSource(9))
-        summed = [x + y for x, y in zip(a.shares, b.shares)]
+        summed = [x + y for x, y in zip(a.shares, b.shares, strict=True)]
         assert vss.reconstruct(summed[:2]) == 42
 
     def test_summed_shares_verify_against_combined_commitments(self, vss):
         a = vss.deal(10, rng=RandomSource(10))
         b = vss.deal(32, rng=RandomSource(11))
         combined_commitments = a.commitments * b.commitments
-        summed = [x + y for x, y in zip(a.shares, b.shares)]
+        summed = [x + y for x, y in zip(a.shares, b.shares, strict=True)]
         for share in summed:
             assert vss.verify_share(share, combined_commitments)
 
