@@ -45,6 +45,7 @@ from repro.api.spec import (
     CryptoProfile,
     NetworkProfile,
     ScenarioSpec,
+    TransportProfile,
 )
 
 __all__ = [
@@ -73,6 +74,7 @@ __all__ = [
     "SetupDriver",
     "TallyComputed",
     "TallyDriver",
+    "TransportProfile",
     "VotingDriver",
     "default_drivers",
 ]

@@ -56,6 +56,7 @@ from repro.crypto.group import Group
 from repro.crypto.utils import RandomSource
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.simulator import Network
+from repro.net.transport import Transport
 from repro.perf.parallel import ParallelConfig
 
 
@@ -77,6 +78,9 @@ class EngineContext:
     #: shared parallel-audit schedule (the multi-election service injects one
     #: config so every member election draws on the same worker budget).
     parallel: Optional[ParallelConfig] = None
+    #: transport the voting network will use (built from the spec's
+    #: ``TransportProfile``; single-run -- TCP backends own real sockets).
+    transport: Optional[Transport] = None
 
     choices: Optional[Sequence[str]] = None
     voter_parts: Optional[Sequence[str]] = None
@@ -177,7 +181,9 @@ class VotingDriver(PhaseDriver):
         if len(ctx.choices) != params.num_voters:
             raise ValueError("need exactly one choice per voter")
         setup = ctx.setup
-        ctx.network = Network(conditions=ctx.conditions, adversary=ctx.adversary)
+        ctx.network = Network(
+            conditions=ctx.conditions, adversary=ctx.adversary, transport=ctx.transport
+        )
         ctx.bus.set_clock(lambda: ctx.network.now)
 
         for index in range(params.thresholds.num_vc):
@@ -362,6 +368,7 @@ class ElectionEngine:
         trustee_classes: Optional[Dict[str, Type[Trustee]]] = None,
         include_proofs: Optional[bool] = None,
         parallel: Optional[ParallelConfig] = None,
+        transport: Optional[Transport] = None,
     ):
         self.spec = spec
         self.drivers: List[PhaseDriver] = (
@@ -379,6 +386,7 @@ class ElectionEngine:
         self._trustee_classes = trustee_classes
         self._include_proofs = include_proofs
         self._parallel = parallel
+        self._transport = transport
         self.ctx: Optional[EngineContext] = None
 
     # -- observation -------------------------------------------------------------
@@ -413,10 +421,16 @@ class ElectionEngine:
         vc_classes.update(self._vc_node_classes or {})
         bb_classes.update(self._bb_node_classes or {})
         trustee_classes.update(self._trustee_classes or {})
+        group = self._group if self._group is not None else spec.crypto.build_group()
+        transport = (
+            self._transport
+            if self._transport is not None
+            else spec.transport.build_transport(group)
+        )
         self.ctx = EngineContext(
             spec=spec,
             params=spec.to_election_parameters(),
-            group=self._group if self._group is not None else spec.crypto.build_group(),
+            group=group,
             rng=self._rng if self._rng is not None else RandomSource(spec.seed),
             bus=self.bus,
             conditions=self._conditions
@@ -430,6 +444,7 @@ class ElectionEngine:
             if self._include_proofs is not None
             else spec.crypto.include_proofs,
             parallel=self._parallel,
+            transport=transport,
             choices=choices,
             voter_parts=voter_parts,
             voter_patience=spec.voter_patience if voter_patience is None else voter_patience,
@@ -467,12 +482,24 @@ class ElectionEngine:
         ctx = self.begin(
             choices, voter_parts=voter_parts, voter_patience=voter_patience, stagger=stagger
         )
-        for driver in self.drivers:
-            if driver.should_run(ctx):
-                self.run_phase(driver, ctx)
+        try:
+            for driver in self.drivers:
+                if driver.should_run(ctx):
+                    self.run_phase(driver, ctx)
+        finally:
+            self.close()
         receipts = sum(1 for voter in ctx.voters if voter.receipt is not None)
         self.bus.emit(ElectionCompleted(receipts=receipts))
         return self.outcome()
+
+    def close(self) -> None:
+        """Release the current run's transport resources (sockets, loops).
+
+        Idempotent; byte/message counters on the run's network survive, so
+        outcomes remain fully inspectable after closing.
+        """
+        if self.ctx is not None and self.ctx.transport is not None:
+            self.ctx.transport.close()
 
     def outcome(self) -> ElectionOutcome:
         """Package the current context into an :class:`ElectionOutcome`."""

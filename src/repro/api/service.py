@@ -176,6 +176,7 @@ class MultiElectionService:
         for member in members:
             receipts = sum(1 for voter in member.ctx.voters if voter.receipt is not None)
             member.engine.bus.emit(ElectionCompleted(receipts=receipts))
+            member.engine.close()
             self.reports[member.name] = ElectionReport(
                 name=member.name,
                 spec=member.engine.spec,

@@ -11,7 +11,10 @@ the five orthogonal concerns that used to sprawl across
   cost-model latencies, kept coherent in one place;
 * :class:`AdversaryProfile` -- which nodes misbehave and how (by name, so the
   spec stays serializable);
-* :class:`CryptoProfile`   -- group backend and proof generation.
+* :class:`CryptoProfile`   -- group backend and proof generation;
+* :class:`TransportProfile` -- how message bytes travel (in-memory reference
+  passing, canonical wire encoding with byte accounting, or real TCP
+  loopback sockets).
 
 Specs validate eagerly, round-trip through plain dicts (``to_dict`` /
 ``from_dict``), and ship with named presets (``paper_baseline``,
@@ -43,6 +46,8 @@ from repro.core.trustee import Trustee
 from repro.core.vote_collector import VoteCollectorNode
 from repro.crypto.group import EcGroup, Group, default_group
 from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.codec import MessageCodec
+from repro.net.transport import InProcessTransport, TcpLoopbackTransport, Transport
 from repro.perf import costmodel
 from repro.perf.loadsim import VoteCollectionLoadSimulator
 
@@ -316,6 +321,68 @@ class AdversaryProfile:
 
 
 @dataclass(frozen=True)
+class TransportProfile:
+    """How protocol messages travel between simulated nodes.
+
+    ``backend`` picks the delivery mechanism:
+
+    * ``"memory"`` -- the historical in-process delivery (payloads passed by
+      reference, zero serialization cost);
+    * ``"tcp"`` -- an asyncio TCP loopback transport: every message's
+      canonical frame crosses a real socket pair before delivery.
+
+    ``wire_format=True`` routes every payload through the canonical binary
+    codec (:mod:`repro.net.codec`) even on the memory backend, so the run
+    counts real wire bytes (``Network.bytes_sent`` / ``bytes_delivered``) and
+    proves every message type is encodable.  The TCP backend always uses the
+    wire format.
+    """
+
+    backend: str = "memory"
+    wire_format: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("memory", "tcp"):
+            raise ValueError("transport backend must be 'memory' or 'tcp'")
+        if self.backend == "tcp" and not self.wire_format:
+            object.__setattr__(self, "wire_format", True)
+
+    @classmethod
+    def memory(cls) -> "TransportProfile":
+        """Reference-passing in-process delivery (no byte accounting)."""
+        return cls(backend="memory", wire_format=False)
+
+    @classmethod
+    def wire(cls) -> "TransportProfile":
+        """In-process delivery with canonical encoding and byte accounting."""
+        return cls(backend="memory", wire_format=True)
+
+    @classmethod
+    def tcp(cls) -> "TransportProfile":
+        """Real TCP loopback sockets (implies the wire format)."""
+        return cls(backend="tcp", wire_format=True)
+
+    def build_transport(self, group: Optional[Group] = None) -> Transport:
+        """A fresh single-run transport implementing this profile."""
+        if self.backend == "tcp":
+            return TcpLoopbackTransport(codec=MessageCodec(group=group))
+        if self.wire_format:
+            return InProcessTransport(codec=MessageCodec(group=group))
+        return InProcessTransport()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"backend": self.backend, "wire_format": self.wire_format}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TransportProfile":
+        backend = str(data.get("backend", "memory"))
+        return cls(
+            backend=backend,
+            wire_format=bool(data.get("wire_format", backend == "tcp")),
+        )
+
+
+@dataclass(frozen=True)
 class CryptoProfile:
     """Cryptographic backend selection.
 
@@ -377,6 +444,7 @@ class ScenarioSpec:
     network: NetworkProfile = field(default_factory=NetworkProfile)
     adversary: AdversaryProfile = field(default_factory=AdversaryProfile)
     crypto: CryptoProfile = field(default_factory=CryptoProfile)
+    transport: TransportProfile = field(default_factory=TransportProfile)
 
     def __post_init__(self) -> None:
         if not isinstance(self.options, tuple):
@@ -517,6 +585,7 @@ class ScenarioSpec:
             "network": self.network.to_dict(),
             "adversary": self.adversary.to_dict(),
             "crypto": self.crypto.to_dict(),
+            "transport": self.transport.to_dict(),
         }
 
     @classmethod
@@ -543,6 +612,7 @@ class ScenarioSpec:
             network=NetworkProfile.from_dict(data.get("network", {})),
             adversary=AdversaryProfile.from_dict(data.get("adversary", {})),
             crypto=CryptoProfile.from_dict(data.get("crypto", {})),
+            transport=TransportProfile.from_dict(data.get("transport", {})),
         )
 
     # -- capacity-planning runners ----------------------------------------------

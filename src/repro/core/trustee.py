@@ -71,25 +71,46 @@ class TrusteeSubmission:
     signature: Optional[object] = None
 
     def digest(self) -> bytes:
-        """Deterministic digest of the submission, used for signing."""
-        pieces: List[bytes] = [self.trustee_id.encode(), self.challenge.to_bytes(64, "big")]
+        """Deterministic digest of the submission, used for signing.
+
+        The digest hashes the canonical wire encoding of every share (via
+        :func:`repro.net.codec.signing_bytes`), interleaved with typed section
+        markers, so two structurally different submissions can never produce
+        the same byte string -- the old ``:``/``|``-joined text rendering gave
+        no such guarantee for adversarially chosen components.
+        """
+        # Imported lazily: the codec registers this package's message types.
+        from repro.net.codec import signing_bytes
+
+        # Every variable-length share sequence is length-prefixed, so the
+        # flattened part list parses deterministically left to right: a share
+        # can never silently migrate across a row / value-vs-randomness /
+        # section boundary while keeping the same digest.
+        parts: List[object] = [self.trustee_id, self.challenge]
         for key in sorted(self.opening_shares):
             serial, part = key
-            pieces.append(f"open|{serial}|{part}".encode())
-            for row in self.opening_shares[key]:
-                for share in row.value_shares + row.randomness_shares:
-                    pieces.append(f"{share.index}:{share.value}:{share.blinding}".encode())
+            rows = self.opening_shares[key]
+            parts.extend(("open", serial, part, len(rows)))
+            for row in rows:
+                parts.append(len(row.value_shares))
+                parts.extend(row.value_shares)
+                parts.append(len(row.randomness_shares))
+                parts.extend(row.randomness_shares)
         for key in sorted(self.proof_shares):
             serial, part = key
-            pieces.append(f"proof|{serial}|{part}".encode())
-            for row in self.proof_shares[key]:
+            rows = self.proof_shares[key]
+            parts.extend(("proof", serial, part, len(rows)))
+            for row in rows:
+                parts.append(len(row.component_shares))
                 for name in sorted(row.component_shares):
-                    share = row.component_shares[name]
-                    pieces.append(f"{name}:{share.index}:{share.value}".encode())
-        for share in self.tally_value_shares + self.tally_randomness_shares:
-            pieces.append(f"tally:{share.index}:{share.value}:{share.blinding}".encode())
-        pieces.append(b"discarded:" + b",".join(str(s).encode() for s in sorted(self.discarded)))
-        return sha256(*pieces)
+                    parts.extend((name, row.component_shares[name]))
+        parts.extend(("tally", len(self.tally_value_shares)))
+        parts.extend(self.tally_value_shares)
+        parts.append(len(self.tally_randomness_shares))
+        parts.extend(self.tally_randomness_shares)
+        parts.extend(("discarded", len(self.discarded)))
+        parts.extend(sorted(self.discarded))
+        return sha256(signing_bytes(b"trustee-submission", *parts))
 
 
 @dataclass(frozen=True)

@@ -127,8 +127,17 @@ class VscStats:
 
 
 def endorsement_message(serial: int, vote_code: bytes) -> bytes:
-    """The byte string a VC node signs when endorsing a vote code."""
-    return b"endorse|" + serial.to_bytes(8, "big") + b"|" + vote_code
+    """The byte string a VC node signs when endorsing a vote code.
+
+    This is the canonical wire encoding of the corresponding ENDORSE message
+    under a domain tag, so the signed bytes are exactly what travels on the
+    wire -- no ad-hoc concatenation that could diverge from the transport
+    format (or collide across field boundaries).
+    """
+    # Imported lazily: the codec registers this module's message types.
+    from repro.net.codec import signing_bytes
+
+    return signing_bytes(b"endorse", Endorse(serial, vote_code))
 
 
 class VoteCollectorNode(SimNode):

@@ -115,6 +115,20 @@ class ShamirSecretSharing:
         return secret
 
 
+def share_signing_message(context: bytes, share: Share) -> bytes:
+    """Canonical byte string the dealer signs for one share.
+
+    Built from the wire codec's canonical encoding (domain tag + typed,
+    length-prefixed parts), so the signed bytes are unambiguous -- the old
+    ``context + b"|" + share.serialize()`` concatenation could collide when a
+    context itself contained a ``b"|"``.  Imported lazily because the codec
+    package registers this module's dataclasses.
+    """
+    from repro.net.codec import signing_bytes
+
+    return signing_bytes(b"dealer-share", context, share)
+
+
 class SigningDealer:
     """EA-side helper that shares secrets and signs every share."""
 
@@ -145,7 +159,7 @@ class SigningDealer:
         shares = self.sss.share(secret, rng=rng)
         signed = []
         for share in shares:
-            message = context + b"|" + share.serialize()
+            message = share_signing_message(context, share)
             signature = self.scheme.sign(self.keys, message)
             signed.append(SignedShare(share, context, signature))
         return signed
@@ -155,7 +169,7 @@ class SigningDealer:
         scheme: SignatureScheme, dealer_public, signed_share: SignedShare
     ) -> bool:
         """Check the dealer's signature on a share."""
-        message = signed_share.context + b"|" + signed_share.share.serialize()
+        message = share_signing_message(signed_share.context, signed_share.share)
         return scheme.verify(dealer_public, message, signed_share.signature)
 
     def reconstruct(self, shares: Sequence[SignedShare]) -> int:

@@ -11,16 +11,25 @@ are reproducible and the adversary is programmable.
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.channels import Channel, Message
 from repro.net.clock import GlobalClock, NodeClock
+from repro.net.codec import MessageCodec, WireFormatError, default_codec, signing_bytes
 from repro.net.simulator import Event, Network, SimNode
+from repro.net.transport import InProcessTransport, TcpLoopbackTransport, Transport
 
 __all__ = [
     "GlobalClock",
     "NodeClock",
     "Message",
+    "MessageCodec",
     "Channel",
     "Network",
     "SimNode",
     "Event",
     "Adversary",
     "NetworkConditions",
+    "Transport",
+    "InProcessTransport",
+    "TcpLoopbackTransport",
+    "WireFormatError",
+    "default_codec",
+    "signing_bytes",
 ]

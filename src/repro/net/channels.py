@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Optional
 
 
 class ChannelKind(Enum):
@@ -55,6 +55,11 @@ class Message:
     send_time: float = 0.0
     deliver_time: float = 0.0
     message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+    #: canonical wire encoding of ``payload`` (set by the transport when the
+    #: wire format is enabled; cleared again after delivery to bound memory)
+    wire_frame: Optional[bytes] = None
+    #: size of the wire encoding in bytes (0 when the wire format is off)
+    wire_bytes: int = 0
 
     def duplicate(self) -> "Message":
         """Create a copy with a fresh message id (adversarial duplication)."""
@@ -66,14 +71,26 @@ class Message:
             send_time=self.send_time,
             deliver_time=self.deliver_time,
             message_id=next(_MESSAGE_COUNTER),
+            wire_frame=self.wire_frame,
+            wire_bytes=self.wire_bytes,
         )
 
 
 @dataclass
 class DeliveryRecord:
-    """Trace entry recorded by the simulator for every delivered message."""
+    """Trace entry recorded by the simulator for every sent message.
+
+    ``delivered_at`` is the global time of delivery, or ``None`` when the
+    message was dropped (dropped messages never have a delivery time; use
+    ``message.send_time`` for when the drop happened).
+    """
 
     message: Message
-    delivered_at: float
+    delivered_at: Optional[float]
     dropped: bool = False
     duplicated: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes the message occupied on the wire (0 when the format is off)."""
+        return self.message.wire_bytes

@@ -14,11 +14,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.channels import ChannelKind, DeliveryRecord, Message
 from repro.net.clock import ClockRegistry, GlobalClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import Transport
 
 
 @dataclass(order=True)
@@ -89,6 +92,7 @@ class Network:
         conditions: Optional[NetworkConditions] = None,
         adversary: Optional[Adversary] = None,
         max_drift: Optional[float] = None,
+        transport: Optional["Transport"] = None,
     ):
         self.conditions = conditions or NetworkConditions()
         self.adversary = adversary or Adversary()
@@ -100,6 +104,20 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        if transport is None:
+            from repro.net.transport import InProcessTransport
+
+            transport = InProcessTransport()
+        self.transport = transport
+        self.transport.attach(self)
+        # Byte-level bandwidth accounting (non-zero only when the transport
+        # runs the wire format).  "Sent" counts every submitted frame, dropped
+        # or not -- the sender paid for those bytes; "delivered" counts only
+        # frames that reached a handler.
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.channel_bytes_sent: Dict[ChannelKind, int] = {kind: 0 for kind in ChannelKind}
+        self.channel_bytes_delivered: Dict[ChannelKind, int] = {kind: 0 for kind in ChannelKind}
 
     # -- registration ----------------------------------------------------------
 
@@ -109,6 +127,7 @@ class Network:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         self.nodes[node.node_id] = node
         self.clocks.register(node.node_id, drift=clock_drift)
+        self.transport.register(node.node_id)
         node.attach(self)
         return node
 
@@ -134,10 +153,17 @@ class Network:
             channel=channel,
             send_time=self.now,
         )
+        message.wire_bytes = self.transport.encode_submit(message)
+        self.bytes_sent += message.wire_bytes
+        self.channel_bytes_sent[channel] += message.wire_bytes
         extra_delay = self.adversary.schedule(message)
         if extra_delay is None or self.conditions.should_drop():
             self.messages_dropped += 1
-            self.delivery_log.append(DeliveryRecord(message, self.now, dropped=True))
+            # Drops never reach Transport.deliver, so release the frame here
+            # to keep the delivery log's memory bounded (wire_bytes keeps the
+            # size for accounting).
+            message.wire_frame = None
+            self.delivery_log.append(DeliveryRecord(message, None, dropped=True))
             return
         latency = self.conditions.sample_latency() + extra_delay
         self._enqueue_delivery(message, latency)
@@ -153,8 +179,15 @@ class Network:
             receiver = self.nodes.get(message.receiver)
             if receiver is None:
                 return
+            payload = self.transport.deliver(message)
+            if payload is not message.payload:
+                message.payload = payload
             self.messages_delivered += 1
-            self.delivery_log.append(DeliveryRecord(message, self.now, duplicated=duplicated))
+            self.bytes_delivered += message.wire_bytes
+            self.channel_bytes_delivered[message.channel] += message.wire_bytes
+            self.delivery_log.append(
+                DeliveryRecord(message, self.now, duplicated=duplicated)
+            )
             receiver.on_message(message)
 
         self.schedule_at(deliver_time, deliver, description=f"deliver->{message.receiver}")
@@ -190,7 +223,14 @@ class Network:
                 break
             self.step()
             processed += 1
-        if processed >= max_events:
+        # Only a budget hit with work still queued is suspicious; draining the
+        # queue on exactly the last budgeted event (or having only events past
+        # the deadline left) is a normal completion.
+        if (
+            processed >= max_events
+            and self._queue
+            and (until is None or self._queue[0].time <= until)
+        ):
             raise RuntimeError("event budget exhausted; possible message storm")
         return processed
 
@@ -211,3 +251,31 @@ class Network:
         if not self._queue:
             return None
         return self._queue[0].time
+
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def drop_log(self) -> List[DeliveryRecord]:
+        """Every dropped message's record (``delivered_at`` is ``None``)."""
+        return [record for record in self.delivery_log if record.dropped]
+
+    def bandwidth_summary(self) -> Dict[str, Any]:
+        """Byte/message counters in one dict (all zeros without a wire format)."""
+        return {
+            "transport": self.transport.name,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "channel_bytes_sent": {
+                kind.value: count for kind, count in self.channel_bytes_sent.items()
+            },
+            "channel_bytes_delivered": {
+                kind.value: count for kind, count in self.channel_bytes_delivered.items()
+            },
+        }
+
+    def close(self) -> None:
+        """Shut down the transport (sockets, event loops); idempotent."""
+        self.transport.close()

@@ -24,6 +24,8 @@ in DESIGN.md and EXPERIMENTS.md.
 
 from repro.perf.costmodel import (
     AuditCosts,
+    BandwidthCosts,
+    ConsensusCosts,
     CostModel,
     CryptoCosts,
     DatabaseCosts,
@@ -36,6 +38,8 @@ from repro.perf.phases import PhaseDurations, PhaseRecorder, phase_breakdown
 
 __all__ = [
     "AuditCosts",
+    "BandwidthCosts",
+    "ConsensusCosts",
     "CryptoCosts",
     "DatabaseCosts",
     "MachineSpec",

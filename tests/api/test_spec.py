@@ -12,6 +12,7 @@ from repro.api import (
     CryptoProfile,
     NetworkProfile,
     ScenarioSpec,
+    TransportProfile,
 )
 from repro.core.byzantine import SilentVoteCollector
 from repro.net.adversary import NetworkConditions
@@ -172,6 +173,44 @@ class TestDerivedViews:
         phases = spec.phase_breakdown(50_000)
         assert phases.ballots_cast == 50_000
         assert phases.vote_collection_s > 0
+
+
+class TestTransportProfile:
+    def test_default_is_memory_without_wire_format(self):
+        profile = ScenarioSpec().transport
+        assert profile.backend == "memory"
+        assert not profile.wire_format
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            TransportProfile(backend="carrier-pigeon")
+
+    def test_tcp_implies_wire_format(self):
+        assert TransportProfile(backend="tcp").wire_format
+        assert TransportProfile.tcp().wire_format
+
+    def test_round_trips_through_dicts(self):
+        for profile in (
+            TransportProfile.memory(),
+            TransportProfile.wire(),
+            TransportProfile.tcp(),
+        ):
+            assert TransportProfile.from_dict(profile.to_dict()) == profile
+        spec = ScenarioSpec(transport=TransportProfile.wire())
+        assert ScenarioSpec.from_dict(spec.to_dict()).transport == spec.transport
+
+    def test_build_transport_matches_profile(self):
+        from repro.net.transport import InProcessTransport, TcpLoopbackTransport
+
+        memory = TransportProfile.memory().build_transport()
+        assert isinstance(memory, InProcessTransport) and memory.codec is None
+        wire = TransportProfile.wire().build_transport()
+        assert isinstance(wire, InProcessTransport) and wire.codec is not None
+        tcp = TransportProfile.tcp().build_transport()
+        try:
+            assert isinstance(tcp, TcpLoopbackTransport)
+        finally:
+            tcp.close()
 
 
 class TestPresets:

@@ -68,6 +68,22 @@ class TestSubmissions:
         assert submission.digest() != digest_before
         submission.challenge = original
 
+    def test_digest_detects_shares_moved_across_sequence_boundaries(self, submissions):
+        """The flattened share lists are length-prefixed: moving a share from
+        the value sequence to the randomness sequence (same flattened order)
+        must change the digest, or a signature could be replayed over a
+        structurally different submission."""
+        submission = next(iter(submissions.values()))
+        digest_before = submission.digest()
+        values, randomness = submission.tally_value_shares, submission.tally_randomness_shares
+        assert values  # fixture casts votes, so tally shares exist
+        submission.tally_value_shares = values[:-1]
+        submission.tally_randomness_shares = (values[-1],) + randomness
+        assert submission.digest() != digest_before
+        submission.tally_value_shares = values
+        submission.tally_randomness_shares = randomness
+        assert submission.digest() == digest_before
+
     def test_nothing_submitted_twice_is_harmless(self, small_outcome, submissions):
         """Feeding a duplicate submission does not change the published result."""
         bb = small_outcome.bb_nodes[0]

@@ -112,6 +112,26 @@ class TestTimersAndOrdering:
         with pytest.raises(RuntimeError):
             network.run(max_events=100)
 
+    def test_budget_hit_on_exactly_the_last_event_is_not_a_storm(self):
+        network, a, b = make_network()
+        fired = []
+        for index in range(5):
+            a.set_timer(0.1 * (index + 1), lambda i=index: fired.append(i))
+        # The queue drains on exactly the last budgeted event: no error.
+        assert network.run(max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+        assert network.pending_events() == 0
+
+    def test_budget_hit_with_only_post_deadline_events_is_not_a_storm(self):
+        network, a, b = make_network()
+        a.set_timer(1.0, lambda: None)
+        a.set_timer(2.0, lambda: None)
+        a.set_timer(10.0, lambda: None)
+        # Two events fit the budget; the only remaining one is past the
+        # deadline, which is a normal deadline stop, not a message storm.
+        assert network.run(max_events=2, until=5.0) == 2
+        assert network.pending_events() == 1
+
     def test_node_clock_accessible(self):
         network, a, b = make_network()
         assert a.now == network.now
@@ -127,6 +147,32 @@ class TestAdversarialConditions:
         network.run_until_idle()
         assert b.received == []
         assert network.messages_dropped == 1
+
+    def test_dropped_messages_have_no_delivery_time(self):
+        network = Network(conditions=NetworkConditions(base_latency=0.001, drop_rate=1.0, seed=1))
+        a, b = EchoNode("a"), EchoNode("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", "hello")
+        network.run_until_idle()
+        (record,) = network.delivery_log
+        assert record.dropped
+        assert record.delivered_at is None
+
+    def test_drop_log_exposes_only_dropped_records(self):
+        network = Network(conditions=NetworkConditions(base_latency=0.001, seed=1))
+        adversary = network.adversary
+        adversary.block_link("a", "b")
+        a, b = EchoNode("a"), EchoNode("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", "lost")
+        b.send("a", "arrives")
+        network.run_until_idle()
+        assert [r.message.payload for r in network.drop_log] == ["lost"]
+        assert len(network.delivery_log) == 2
+        delivered = [r for r in network.delivery_log if not r.dropped]
+        assert all(r.delivered_at is not None for r in delivered)
 
     def test_duplicate_rate_one_duplicates_everything(self):
         network = Network(

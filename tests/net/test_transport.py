@@ -1,0 +1,225 @@
+"""Tests for the transport backends and byte-level bandwidth accounting."""
+
+import pytest
+
+from repro.api import (
+    AuditConfig,
+    ConsensusConfig,
+    ElectionEngine,
+    ScenarioSpec,
+    TransportProfile,
+)
+from repro.core.messages import Announce, VscBatch, VscEnvelope
+from repro.net.adversary import NetworkConditions
+from repro.net.channels import ChannelKind
+from repro.net.codec import FRAME_OVERHEAD, MessageCodec
+from repro.net.simulator import Network, SimNode
+from repro.net.transport import InProcessTransport, TcpLoopbackTransport
+
+
+class Sink(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+def wire_network(**kwargs):
+    network = Network(
+        conditions=NetworkConditions(base_latency=0.001, seed=1),
+        transport=InProcessTransport(codec=MessageCodec()),
+        **kwargs,
+    )
+    a, b = Sink("a"), Sink("b")
+    network.register(a)
+    network.register(b)
+    return network, a, b
+
+
+PAYLOAD = Announce(7, None, None, "a")
+
+
+class TestByteAccounting:
+    def test_default_transport_counts_no_bytes(self):
+        network = Network(conditions=NetworkConditions(base_latency=0.001, seed=1))
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        assert network.bytes_sent == 0
+        assert network.bytes_delivered == 0
+        assert b.received[0].payload is PAYLOAD  # passed by reference
+
+    def test_wire_transport_counts_frame_bytes(self):
+        network, a, b = wire_network()
+        frame_len = len(MessageCodec().encode(PAYLOAD))
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        assert network.bytes_sent == frame_len
+        assert network.bytes_delivered == frame_len
+        assert frame_len > FRAME_OVERHEAD
+
+    def test_wire_transport_round_trips_payloads_by_value(self):
+        network, a, b = wire_network()
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        delivered = b.received[0].payload
+        assert delivered == PAYLOAD
+        assert delivered is not PAYLOAD  # decoded from bytes, not a reference
+
+    def test_per_channel_byte_split(self):
+        network, a, b = wire_network()
+        a.send("b", PAYLOAD, channel=ChannelKind.PUBLIC)
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        assert network.channel_bytes_sent[ChannelKind.PUBLIC] > 0
+        assert network.channel_bytes_sent[ChannelKind.AUTHENTICATED] > 0
+        assert (
+            network.channel_bytes_sent[ChannelKind.PUBLIC]
+            + network.channel_bytes_sent[ChannelKind.AUTHENTICATED]
+            == network.bytes_sent
+        )
+        assert network.channel_bytes_delivered == network.channel_bytes_sent
+
+    def test_dropped_messages_cost_sent_bytes_but_not_delivered(self):
+        network = Network(
+            conditions=NetworkConditions(base_latency=0.001, drop_rate=1.0, seed=1),
+            transport=InProcessTransport(codec=MessageCodec()),
+        )
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        assert network.bytes_sent > 0
+        assert network.bytes_delivered == 0
+        (record,) = network.drop_log
+        assert record.wire_bytes == network.bytes_sent
+        assert record.message.wire_frame is None  # frame released on drop too
+
+    def test_delivery_log_records_wire_bytes(self):
+        network, a, b = wire_network()
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        (record,) = network.delivery_log
+        assert record.wire_bytes == network.bytes_sent
+        assert record.message.wire_frame is None  # frame released after delivery
+
+    def test_bandwidth_summary(self):
+        network, a, b = wire_network()
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        summary = network.bandwidth_summary()
+        assert summary["transport"] == "memory+wire"
+        assert summary["bytes_sent"] == network.bytes_sent
+        assert summary["channel_bytes_sent"]["authenticated"] == network.bytes_sent
+
+
+@pytest.fixture(scope="module")
+def small_wire_spec():
+    return ScenarioSpec(
+        options=("option-1", "option-2"),
+        num_voters=3,
+        election_end=400.0,
+        audit=AuditConfig(batch=True, workers=1),
+        transport=TransportProfile.wire(),
+    )
+
+
+CHOICES = ["option-1", "option-2", "option-1"]
+
+
+def outcome_fingerprint(outcome):
+    """Everything the acceptance criterion compares between transports."""
+    return (
+        outcome.tally.as_dict() if outcome.tally else None,
+        outcome.audit_report.passed if outcome.audit_report else None,
+        outcome.receipts_obtained,
+        outcome.all_receipts_valid,
+        tuple(node.final_vote_set for node in outcome.vote_collectors),
+        tuple(sorted(outcome.phase_timings)),
+    )
+
+
+class TestTransportEquivalence:
+    def test_wire_format_does_not_change_the_outcome(self, small_wire_spec):
+        reference = ElectionEngine(
+            small_wire_spec.derive(transport=TransportProfile.memory())
+        ).run(CHOICES)
+        wired = ElectionEngine(small_wire_spec).run(CHOICES)
+        assert outcome_fingerprint(reference) == outcome_fingerprint(wired)
+        assert reference.network.bytes_sent == 0
+        assert wired.network.bytes_sent > 0
+
+    def test_tcp_loopback_election_matches_simulated_outcome(self, small_wire_spec):
+        """Acceptance: a real-socket election equals the simulated one."""
+        simulated = ElectionEngine(small_wire_spec).run(CHOICES)
+        over_tcp = ElectionEngine(
+            small_wire_spec.derive(transport=TransportProfile.tcp())
+        ).run(CHOICES)
+        assert outcome_fingerprint(simulated) == outcome_fingerprint(over_tcp)
+        assert over_tcp.tally is not None and over_tcp.audit_report.passed
+        assert over_tcp.network.transport.name == "tcp"
+        assert over_tcp.network.transport.frames_sent > 0
+        assert over_tcp.network.bytes_sent > 0
+
+    def test_superblock_batching_shrinks_consensus_bytes(self):
+        """Acceptance: batching reduces measured consensus *bytes*."""
+
+        def consensus_bytes(batch_size):
+            spec = ScenarioSpec(
+                options=("option-1", "option-2"),
+                num_voters=8,
+                election_end=400.0,
+                audit=AuditConfig(enabled=False),
+                consensus=ConsensusConfig(batch_size=batch_size),
+                transport=TransportProfile.wire(),
+            )
+            choices = ["option-1", "option-2"] * 4
+            outcome = ElectionEngine(spec).run(choices)
+            total = 0
+            for record in outcome.network.delivery_log:
+                if isinstance(record.message.payload, (Announce, VscEnvelope, VscBatch)):
+                    total += record.wire_bytes
+            return outcome.tally.as_dict(), total
+
+        per_ballot_tally, per_ballot_bytes = consensus_bytes(1)
+        batched_tally, batched_bytes = consensus_bytes(8)
+        assert per_ballot_tally == batched_tally
+        assert 0 < batched_bytes < per_ballot_bytes
+
+
+class TestTcpTransportLifecycle:
+    def test_close_is_idempotent(self):
+        transport = TcpLoopbackTransport()
+        network = Network(
+            conditions=NetworkConditions(base_latency=0.001, seed=1), transport=transport
+        )
+        a, b = Sink("a"), Sink("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", PAYLOAD)
+        network.run_until_idle()
+        assert b.received[0].payload == PAYLOAD
+        network.close()
+        network.close()
+
+    def test_register_after_close_rejected(self):
+        transport = TcpLoopbackTransport()
+        transport.close()
+        with pytest.raises(RuntimeError):
+            transport.register("a")
+
+    def test_send_to_unregistered_node_is_silently_dropped(self):
+        transport = TcpLoopbackTransport()
+        network = Network(
+            conditions=NetworkConditions(base_latency=0.001, seed=1), transport=transport
+        )
+        a = Sink("a")
+        network.register(a)
+        a.send("ghost", PAYLOAD)
+        network.run_until_idle()
+        network.close()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.perf.costmodel import (
+    BandwidthCosts,
     ConsensusCosts,
     CostModel,
     CryptoCosts,
@@ -34,6 +35,56 @@ class TestConsensusCosts:
         model = CostModel(num_ballots=10_000)
         assert model.vsc_message_estimate(4, 256) < model.vsc_message_estimate(4, 1)
         assert model.vsc_batching_speedup(4, 256) > 5.0
+
+
+class TestBandwidthCosts:
+    def test_defaults_match_a_fresh_measurement(self):
+        # Sizes carrying no signature are byte-exact; signature-bearing ones
+        # wobble by a couple of bytes with the nonce encoding.
+        measured = BandwidthCosts.measured(num_vc=4)
+        defaults = BandwidthCosts()
+        assert measured.vote_request_bytes == defaults.vote_request_bytes
+        assert measured.endorse_bytes == defaults.endorse_bytes
+        assert measured.announce_empty_bytes == defaults.announce_empty_bytes
+        assert measured.superblock_vector_ballot_bytes == 1.0
+        assert abs(measured.endorsement_bytes - defaults.endorsement_bytes) <= 4
+        assert abs(measured.vote_pending_bytes - defaults.vote_pending_bytes) <= 16
+
+    def test_batch_size_one_equals_per_ballot_bytes(self):
+        costs = BandwidthCosts()
+        assert costs.superblock_consensus_bytes(4, 10_000, 1) == (
+            costs.per_ballot_consensus_bytes(4, 10_000)
+        )
+
+    def test_superblocks_save_bytes_and_savings_grow_with_batch(self):
+        costs = BandwidthCosts()
+        totals = [costs.superblock_consensus_bytes(4, 10_000, b) for b in (1, 16, 256)]
+        assert totals == sorted(totals, reverse=True)
+        assert costs.batching_byte_reduction(4, 10_000, 256) > 5.0
+
+    def test_vector_growth_caps_the_byte_savings(self):
+        # Opinion vectors grow with the batch size, so byte savings saturate
+        # well below the message-count reduction of the same batch.
+        costs = BandwidthCosts()
+        assert costs.batching_byte_reduction(4, 10_000, 1024) < (
+            ConsensusCosts().batching_speedup(4, 10_000, 1024)
+        )
+
+    def test_per_vote_bytes_grow_quadratically_with_nv(self):
+        costs = BandwidthCosts()
+        assert costs.voting_bytes_per_vote(7) > costs.voting_bytes_per_vote(4)
+        # VOTE_P dominates: the Nv^2 term is most of the total.
+        assert costs.voting_bytes_per_vote(4) > 16 * costs.vote_pending_bytes
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthCosts().superblock_consensus_bytes(4, 100, 0)
+
+    def test_cost_model_byte_wrappers(self):
+        model = CostModel(num_ballots=10_000)
+        assert model.vsc_bytes_estimate(4, 256) < model.vsc_bytes_estimate(4, 1)
+        assert model.vsc_byte_reduction(4, 256) > 1.0
+        assert model.per_vote_bytes_estimate(4) > 0
 
 
 class TestMachineSpec:

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) for the canonical wire format.
+
+Two defining properties of the codec:
+
+* **round trip** -- ``decode(encode(m)) == m`` for every registered message
+  type, over adversarially weird field values (huge serials, empty and long
+  byte strings, unicode node ids, deep nesting);
+* **strict rejection** -- truncated, bit-flipped and unknown-tag frames never
+  decode to anything; they raise :class:`WireFormatError`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.batching import (
+    BatchEnvelope,
+    SuperblockEcho,
+    SuperblockReady,
+    SuperblockSend,
+)
+from repro.consensus.interfaces import Aux, BVal, Finish
+from repro.core.messages import (
+    Announce,
+    Endorse,
+    Endorsement,
+    MskShareUpload,
+    RecoverRequest,
+    RecoverResponse,
+    UniquenessCertificate,
+    VotePending,
+    VoteReceipt,
+    VoteRejected,
+    VoteRequest,
+    VoteSetUpload,
+    VscBatch,
+    VscEnvelope,
+)
+from repro.crypto.shamir import Share, SignedShare
+from repro.crypto.signatures import SchnorrSignature
+from repro.net.codec import MessageCodec, WireFormatError
+
+CODEC = MessageCodec()
+
+serials = st.integers(min_value=0, max_value=2**64 - 1)
+vote_codes = st.binary(min_size=0, max_size=40)
+node_ids = st.text(min_size=1, max_size=12)
+scalars = st.integers(min_value=0, max_value=2**256 - 1)
+rounds = st.integers(min_value=0, max_value=2**16)
+bits = st.integers(min_value=0, max_value=1)
+instances = st.text(min_size=1, max_size=16)
+
+signatures = st.builds(
+    SchnorrSignature, challenge=scalars, response=scalars, commitment=st.none()
+)
+shares = st.builds(Share, index=st.integers(1, 1000), value=scalars)
+signed_shares = st.builds(
+    SignedShare, share=shares, context=st.binary(max_size=64), signature=signatures
+)
+endorsements = st.builds(
+    Endorsement,
+    serial=serials,
+    vote_code=vote_codes,
+    signer=node_ids,
+    signature=signatures,
+)
+ucerts = st.builds(
+    UniquenessCertificate,
+    serial=serials,
+    vote_code=vote_codes,
+    endorsements=st.tuples(endorsements, endorsements, endorsements),
+)
+consensus_messages = st.one_of(
+    st.builds(BVal, instance=instances, round=rounds, value=bits),
+    st.builds(Aux, instance=instances, round=rounds, value=bits),
+    st.builds(Finish, instance=instances, value=bits),
+    st.builds(
+        SuperblockSend,
+        instance=instances,
+        origin=node_ids,
+        bits=st.lists(bits, max_size=64).map(tuple),
+    ),
+    st.builds(
+        SuperblockEcho,
+        instance=instances,
+        origin=node_ids,
+        bits=st.lists(bits, max_size=64).map(tuple),
+    ),
+    st.builds(
+        SuperblockReady,
+        instance=instances,
+        origin=node_ids,
+        bits=st.lists(bits, max_size=64).map(tuple),
+    ),
+)
+
+messages = st.one_of(
+    st.builds(VoteRequest, serial=serials, vote_code=vote_codes, voter_id=node_ids),
+    st.builds(VoteReceipt, serial=serials, vote_code=vote_codes, receipt=st.binary(max_size=16)),
+    st.builds(VoteRejected, serial=serials, vote_code=vote_codes, reason=st.text(max_size=40)),
+    st.builds(Endorse, serial=serials, vote_code=vote_codes),
+    endorsements,
+    ucerts,
+    st.builds(
+        VotePending,
+        serial=serials,
+        vote_code=vote_codes,
+        receipt_share=signed_shares,
+        ucert=ucerts,
+        sender=node_ids,
+    ),
+    st.builds(
+        Announce,
+        serial=serials,
+        vote_code=st.one_of(st.none(), vote_codes),
+        ucert=st.none(),
+        sender=node_ids,
+    ),
+    st.builds(Announce, serial=serials, vote_code=vote_codes, ucert=ucerts, sender=node_ids),
+    st.builds(RecoverRequest, serial=serials, sender=node_ids),
+    st.builds(
+        RecoverResponse, serial=serials, vote_code=vote_codes, ucert=ucerts, sender=node_ids
+    ),
+    st.builds(VscEnvelope, consensus_message=consensus_messages, sender=node_ids),
+    st.builds(
+        VscBatch,
+        envelope=st.builds(
+            BatchEnvelope, messages=st.lists(consensus_messages, max_size=8).map(tuple)
+        ),
+        sender=node_ids,
+    ),
+    st.builds(
+        VoteSetUpload,
+        vote_set=st.lists(st.tuples(serials, vote_codes), max_size=16).map(tuple),
+        sender=node_ids,
+    ),
+    st.builds(MskShareUpload, share=signed_shares, sender=node_ids),
+    consensus_messages,
+    signatures,
+    shares,
+    signed_shares,
+)
+
+
+@given(message=messages)
+@settings(max_examples=300)
+def test_decode_encode_round_trip(message):
+    assert CODEC.decode(CODEC.encode(message)) == message
+
+
+@given(message=messages, data=st.data())
+@settings(max_examples=200)
+def test_truncated_frames_rejected(message, data):
+    frame = CODEC.encode(message)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    try:
+        CODEC.decode(frame[:cut])
+    except WireFormatError:
+        pass
+    else:
+        raise AssertionError("truncated frame decoded")
+
+
+@given(message=messages, data=st.data())
+@settings(max_examples=200)
+def test_bit_flips_rejected(message, data):
+    frame = bytearray(CODEC.encode(message))
+    index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    frame[index] ^= 1 << bit
+    try:
+        CODEC.decode(bytes(frame))
+    except WireFormatError:
+        pass
+    else:
+        raise AssertionError("corrupted frame decoded")
+
+
+@given(message=messages, tag=st.integers(min_value=0x1000, max_value=0xFFFF))
+@settings(max_examples=100)
+def test_unknown_tags_rejected(message, tag):
+    import zlib
+
+    frame = bytearray(CODEC.encode(message))
+    frame[3:5] = tag.to_bytes(2, "big")
+    # Fix the checksum so only the unknown tag can be the rejection reason.
+    frame[-4:] = zlib.crc32(bytes(frame[:-4])).to_bytes(4, "big")
+    try:
+        CODEC.decode(bytes(frame))
+    except WireFormatError:
+        pass
+    else:
+        raise AssertionError("unknown-tag frame decoded")
+
+
+@given(message=messages)
+@settings(max_examples=100)
+def test_encoding_is_deterministic(message):
+    assert CODEC.encode(message) == CODEC.encode(message)
