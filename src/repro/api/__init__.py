@@ -41,9 +41,15 @@ from repro.api.spec import (
     PRESETS,
     AdversaryProfile,
     AuditConfig,
+    ClockSkew,
     ConsensusConfig,
+    CrashNode,
     CryptoProfile,
+    FaultPlan,
+    LossBurst,
     NetworkProfile,
+    Partition,
+    RecoverNode,
     ScenarioSpec,
     TransportProfile,
 )
@@ -54,9 +60,11 @@ __all__ = [
     "AuditCompleted",
     "AuditDriver",
     "BallotAccepted",
+    "ClockSkew",
     "ConsensusConfig",
     "ConsensusDecided",
     "ConsensusDriver",
+    "CrashNode",
     "CryptoProfile",
     "ElectionCompleted",
     "ElectionEngine",
@@ -64,12 +72,16 @@ __all__ = [
     "ElectionReport",
     "EngineContext",
     "EventBus",
+    "FaultPlan",
+    "LossBurst",
     "MultiElectionService",
     "NetworkProfile",
     "PRESETS",
+    "Partition",
     "PhaseCompleted",
     "PhaseDriver",
     "PhaseStarted",
+    "RecoverNode",
     "ScenarioSpec",
     "SetupDriver",
     "TallyComputed",

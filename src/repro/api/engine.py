@@ -55,6 +55,7 @@ from repro.core.voter import VoterClient
 from repro.crypto.group import Group
 from repro.crypto.utils import RandomSource
 from repro.net.adversary import Adversary, NetworkConditions
+from repro.net.chaos import ChaosController
 from repro.net.simulator import Network
 from repro.net.transport import Transport
 from repro.perf.parallel import ParallelConfig
@@ -89,6 +90,8 @@ class EngineContext:
 
     setup: Optional[ElectionSetup] = None
     network: Optional[Network] = None
+    #: drives the spec's fault plan (None when the plan is empty).
+    chaos: Optional[ChaosController] = None
     vote_collectors: List[VoteCollectorNode] = field(default_factory=list)
     bb_nodes: List[BulletinBoardNode] = field(default_factory=list)
     trustees: List[Trustee] = field(default_factory=list)
@@ -221,11 +224,22 @@ class VotingDriver(PhaseDriver):
             ctx.voters.append(voter)
             ctx.network.register(voter)
 
+        if not ctx.spec.faults.is_empty:
+            ctx.chaos = ChaosController(
+                ctx.spec.faults,
+                ctx.network,
+                vote_collectors=ctx.vote_collectors,
+                bb_nodes=ctx.bb_nodes,
+                election_end=params.election_end,
+            )
+
     def schedule(self, ctx: EngineContext) -> None:
         for index, voter in enumerate(ctx.voters):
             ctx.network.schedule(
                 index * ctx.stagger, voter.start_voting, description="voter-start"
             )
+        if ctx.chaos is not None:
+            ctx.chaos.install()
 
     def execute(self, ctx: EngineContext) -> None:
         ctx.network.run(until=self.horizon(ctx))
@@ -253,7 +267,11 @@ class ConsensusDriver(PhaseDriver):
     def schedule(self, ctx: EngineContext) -> None:
         end_time = ctx.params.election_end
         for node in ctx.vote_collectors:
-            ctx.network.schedule_at(end_time, node.end_election, description="election-end")
+            # Owned by the node: a VC that is crashed at election end misses
+            # the close (its process is down) and must catch up on recovery.
+            ctx.network.schedule_at(
+                end_time, node.end_election, description="election-end", owner=node.node_id
+            )
 
     def execute(self, ctx: EngineContext) -> None:
         ctx.network.run_until_idle()
@@ -517,4 +535,5 @@ class ElectionEngine:
             audit_report=ctx.audit_report,
             events=list(self.bus.history),
             phase_timings=dict(ctx.phase_timings),
+            chaos_report=ctx.chaos.report() if ctx.chaos is not None else None,
         )

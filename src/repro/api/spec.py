@@ -28,8 +28,9 @@ calibrated capacity-planning experiments of Figures 4 and 5.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.bulletin_board import BulletinBoardNode
 from repro.core.byzantine import (
@@ -40,7 +41,7 @@ from repro.core.byzantine import (
     UcertWithholdingVoteCollector,
     WithholdingBulletinBoard,
 )
-from repro.core.ea import bb_node_id, trustee_id, vc_node_id
+from repro.core.ea import bb_node_id, trustee_id, vc_node_id, voter_id
 from repro.core.election import ElectionParameters, FaultThresholds, validate_audit_flags
 from repro.core.trustee import Trustee
 from repro.core.vote_collector import VoteCollectorNode
@@ -320,6 +321,294 @@ class AdversaryProfile:
         )
 
 
+# ---------------------------------------------------------------------------
+# Timed fault injection (chaos scenarios)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Crash a vote-collector process at simulated time ``t``.
+
+    The node stops receiving messages and loses its in-memory timers; its
+    durable state is snapshotted through the wire codec at crash time, as if
+    taken from write-ahead storage.
+    """
+
+    t: float
+    node: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.t) or self.t < 0:
+            raise ValueError("crash time must be a finite non-negative number")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "crash", "t": self.t, "node": self.node}
+
+
+@dataclass(frozen=True)
+class RecoverNode:
+    """Restart a previously crashed node at ``t`` from its crash snapshot.
+
+    If the election has already closed when the node comes back, it catches
+    up by majority-reading the agreed vote set from the Bulletin Board
+    instead of joining the (finished) consensus instances.
+    """
+
+    t: float
+    node: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.t) or self.t < 0:
+            raise ValueError("recovery time must be a finite non-negative number")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "recover", "t": self.t, "node": self.node}
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the named nodes into disconnected groups for a time window.
+
+    Every cross-group link is blocked (both directions) at ``t_start`` and
+    healed at ``t_end``.  Links blocked independently (e.g. by an
+    :class:`AdversaryProfile`) are untouched by the heal.
+    """
+
+    t_start: float
+    t_end: float
+    groups: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "groups", tuple(tuple(group) for group in self.groups)
+        )
+        if not math.isfinite(self.t_start) or self.t_start < 0:
+            raise ValueError("partition start must be a finite non-negative number")
+        if not math.isfinite(self.t_end) or self.t_end <= self.t_start:
+            raise ValueError("partition must end after it starts")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        if any(not group for group in self.groups):
+            raise ValueError("partition groups cannot be empty")
+        seen: set = set()
+        for group in self.groups:
+            for node in group:
+                if node in seen:
+                    raise ValueError(f"node {node!r} appears in more than one partition group")
+                seen.add(node)
+
+    @property
+    def nodes(self) -> frozenset:
+        """Every node this partition touches."""
+        return frozenset(node for group in self.groups for node in group)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "partition",
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "groups": [list(group) for group in self.groups],
+        }
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Raise the network drop rate to ``rate`` for a time window.
+
+    The previous drop rate is restored at ``t_end``; the latency/loss RNG
+    stream continues uninterrupted across both edges (see
+    :meth:`repro.net.adversary.NetworkConditions.replace`).
+    """
+
+    t_start: float
+    t_end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.t_start) or self.t_start < 0:
+            raise ValueError("loss burst start must be a finite non-negative number")
+        if not math.isfinite(self.t_end) or self.t_end <= self.t_start:
+            raise ValueError("loss burst must end after it starts")
+        if not 0.0 < self.rate < 1.0:
+            raise ValueError("loss burst rate must be in (0, 1)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "loss_burst",
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "rate": self.rate,
+        }
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Set a node's internal clock drift to ``drift`` at time ``t``.
+
+    The liveness model only bounds honest drift by ``Delta``; a skewed clock
+    shifts when the node *believes* voting hours end, which is exactly the
+    hazard the paper's timed assumptions guard.
+    """
+
+    node: str
+    drift: float
+    t: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.drift):
+            raise ValueError("clock drift must be finite")
+        if not math.isfinite(self.t) or self.t < 0:
+            raise ValueError("skew time must be a finite non-negative number")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "clock_skew", "node": self.node, "drift": self.drift, "t": self.t}
+
+
+FaultEvent = Union[CrashNode, RecoverNode, Partition, LossBurst, ClockSkew]
+
+_FAULT_KINDS: Dict[str, Any] = {
+    "crash": lambda d: CrashNode(t=float(d["t"]), node=str(d["node"])),
+    "recover": lambda d: RecoverNode(t=float(d["t"]), node=str(d["node"])),
+    "partition": lambda d: Partition(
+        t_start=float(d["t_start"]),
+        t_end=float(d["t_end"]),
+        groups=tuple(tuple(str(n) for n in group) for group in d["groups"]),
+    ),
+    "loss_burst": lambda d: LossBurst(
+        t_start=float(d["t_start"]), t_end=float(d["t_end"]), rate=float(d["rate"])
+    ),
+    "clock_skew": lambda d: ClockSkew(
+        node=str(d["node"]), drift=float(d["drift"]), t=float(d.get("t", 0.0))
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated schedule of timed fault events for one election run.
+
+    The plan is declarative and serializable; at run time the
+    :class:`repro.net.chaos.ChaosController` turns it into simulator events.
+    ``expect_failure=True`` marks scenarios that deliberately exceed the
+    paper's fault thresholds -- the spec-level threshold check is skipped and
+    the chaos harness asserts that liveness *does* fail.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    expect_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        self._validate_crash_ordering()
+        self._validate_partitions()
+        self._validate_loss_bursts()
+
+    def _validate_crash_ordering(self) -> None:
+        """Per node: crash/recover events must alternate, starting with a crash."""
+        per_node: Dict[str, list] = {}
+        for event in self.events:
+            if isinstance(event, (CrashNode, RecoverNode)):
+                per_node.setdefault(event.node, []).append(event)
+        for node, events in per_node.items():
+            events.sort(key=lambda e: (e.t, isinstance(e, RecoverNode)))
+            down = False
+            last_t: Optional[float] = None
+            for event in events:
+                if last_t is not None and event.t == last_t:
+                    raise ValueError(
+                        f"simultaneous crash/recovery events for {node!r} at t={event.t}"
+                    )
+                if isinstance(event, CrashNode):
+                    if down:
+                        raise ValueError(f"{node!r} crashes twice without recovering")
+                    down = True
+                else:
+                    if not down:
+                        raise ValueError(
+                            f"{node!r} recovers at t={event.t} before any crash"
+                        )
+                    down = False
+                last_t = event.t
+
+    def _validate_partitions(self) -> None:
+        partitions = [e for e in self.events if isinstance(e, Partition)]
+        for i, first in enumerate(partitions):
+            for second in partitions[i + 1:]:
+                overlap = (
+                    first.t_start < second.t_end and second.t_start < first.t_end
+                )
+                if overlap and (first.nodes & second.nodes):
+                    shared = sorted(first.nodes & second.nodes)
+                    raise ValueError(
+                        f"overlapping partitions share nodes {shared}; "
+                        "stagger them or merge their groups"
+                    )
+
+    def _validate_loss_bursts(self) -> None:
+        bursts = sorted(
+            (e for e in self.events if isinstance(e, LossBurst)),
+            key=lambda e: e.t_start,
+        )
+        for first, second in zip(bursts, bursts[1:], strict=False):
+            if second.t_start < first.t_end:
+                raise ValueError("loss bursts cannot overlap")
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    @property
+    def crashed_nodes(self) -> frozenset:
+        """Every node the plan crashes at some point."""
+        return frozenset(e.node for e in self.events if isinstance(e, CrashNode))
+
+    @property
+    def unrecovered_nodes(self) -> frozenset:
+        """Nodes left crashed at the end of the plan."""
+        down: set = set()
+        for event in sorted(
+            (e for e in self.events if isinstance(e, (CrashNode, RecoverNode))),
+            key=lambda e: (e.t, isinstance(e, RecoverNode)),
+        ):
+            if isinstance(event, CrashNode):
+                down.add(event.node)
+            else:
+                down.discard(event.node)
+        return frozenset(down)
+
+    def events_of(self, *kinds: type) -> Tuple[FaultEvent, ...]:
+        """The plan's events of the given types, in schedule order."""
+        return tuple(e for e in self.events if isinstance(e, kinds))
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "expect_failure": self.expect_failure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        events = []
+        for entry in data.get("events", ()):
+            kind = entry.get("kind")
+            factory = _FAULT_KINDS.get(kind)
+            if factory is None:
+                raise ValueError(
+                    f"unknown fault-event kind {kind!r}; known: {sorted(_FAULT_KINDS)}"
+                )
+            events.append(factory(entry))
+        return cls(
+            events=tuple(events),
+            expect_failure=bool(data.get("expect_failure", False)),
+        )
+
+
 @dataclass(frozen=True)
 class TransportProfile:
     """How protocol messages travel between simulated nodes.
@@ -445,6 +734,7 @@ class ScenarioSpec:
     adversary: AdversaryProfile = field(default_factory=AdversaryProfile)
     crypto: CryptoProfile = field(default_factory=CryptoProfile)
     transport: TransportProfile = field(default_factory=TransportProfile)
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         if not isinstance(self.options, tuple):
@@ -460,6 +750,7 @@ class ScenarioSpec:
         # Delegate option/threshold/voting-hour validation to the core layer.
         params = self.to_election_parameters()
         self._validate_adversary(params.thresholds)
+        self._validate_faults(params.thresholds)
 
     def _validate_adversary(self, thresholds: FaultThresholds) -> None:
         valid_vc = {vc_node_id(i) for i in range(self.num_vc)}
@@ -489,6 +780,58 @@ class ScenarioSpec:
                 f"{len(self.adversary.trustee_behaviors)} corrupt trustees exceed the "
                 f"tolerated Nt - ht = {thresholds.max_faulty_trustees}"
             )
+
+    def _validate_faults(self, thresholds: FaultThresholds) -> None:
+        valid_vc = {vc_node_id(i) for i in range(self.num_vc)}
+        valid_any = (
+            valid_vc
+            | {bb_node_id(i) for i in range(self.num_bb)}
+            | {voter_id(i) for i in range(self.num_voters)}
+        )
+        for event in self.faults.events:
+            if isinstance(event, (CrashNode, RecoverNode)):
+                # Crash/recovery is a VC-subsystem capability: BB nodes are
+                # replicated-storage replicas the paper assumes fail-stop
+                # within fb, and voters simply stop participating.
+                if event.node not in valid_vc:
+                    raise ValueError(
+                        f"fault plan crashes/recovers {event.node!r}, which is not a "
+                        f"VC node of this deployment (Nv={self.num_vc})"
+                    )
+            elif isinstance(event, Partition):
+                unknown = event.nodes - valid_any
+                if unknown:
+                    raise ValueError(
+                        f"fault plan partitions unknown nodes: {sorted(unknown)}"
+                    )
+            elif isinstance(event, ClockSkew):
+                if event.node not in valid_any:
+                    raise ValueError(
+                        f"fault plan skews the clock of unknown node {event.node!r}"
+                    )
+            start = getattr(event, "t", None)
+            if start is None:
+                start = event.t_start
+            # Recovery may land after voting hours (the node then catches up
+            # from the BB); everything else must start within the election.
+            if not isinstance(event, RecoverNode) and not (
+                self.election_start <= start <= self.election_end
+            ):
+                raise ValueError(
+                    f"fault event at t={start} lies outside the election window "
+                    f"[{self.election_start}, {self.election_end}]"
+                )
+        if not self.faults.expect_failure:
+            # Byzantine and crashed VC nodes draw from the same fv budget: a
+            # crashed-then-recovered node counts while it is down, so the
+            # conservative bound is every node the plan ever crashes.
+            faulty_vc = set(self.adversary.vc_behaviors) | set(self.faults.crashed_nodes)
+            if len(faulty_vc) > thresholds.max_faulty_vc:
+                raise ValueError(
+                    f"{len(faulty_vc)} simultaneously faulty VC nodes (Byzantine + "
+                    f"crashed) exceed fv={thresholds.max_faulty_vc} (Nv={self.num_vc}); "
+                    "set faults.expect_failure=True to run an above-threshold scenario"
+                )
 
     # -- derived views ----------------------------------------------------------
 
@@ -586,6 +929,7 @@ class ScenarioSpec:
             "adversary": self.adversary.to_dict(),
             "crypto": self.crypto.to_dict(),
             "transport": self.transport.to_dict(),
+            "faults": self.faults.to_dict(),
         }
 
     @classmethod
@@ -613,6 +957,7 @@ class ScenarioSpec:
             adversary=AdversaryProfile.from_dict(data.get("adversary", {})),
             crypto=CryptoProfile.from_dict(data.get("crypto", {})),
             transport=TransportProfile.from_dict(data.get("transport", {})),
+            faults=FaultPlan.from_dict(data.get("faults", {})),
         )
 
     # -- capacity-planning runners ----------------------------------------------

@@ -1,0 +1,29 @@
+"""Chaos-engineering harness: scenario matrix, fault injection, determinism.
+
+The matrix (:mod:`repro.chaos.matrix`) takes the cross product of timed
+fault dimensions (crash/recovery, healing partitions, loss bursts, clock
+skew) with the named adversary presets of :mod:`repro.api.spec`, runs every
+scenario twice per seed through the :class:`~repro.api.engine.ElectionEngine`
+and checks three things per scenario (see
+:mod:`repro.analysis.determinism`):
+
+* **determinism** -- both runs produce the same canonical outcome hash;
+* **safety** -- Theorem 2's invariants hold in every run;
+* **liveness** -- Theorem 1 holds exactly when the fault plan stays within
+  the paper's thresholds, and fails when a plan marked ``expect_failure``
+  exceeds them.
+
+Run it with ``python -m repro.chaos.matrix``.
+"""
+
+__all__ = ["build_matrix", "run_matrix"]
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.chaos.matrix`` does not import the module
+    # twice (once as a package attribute, once as __main__).
+    if name in __all__:
+        from repro.chaos import matrix
+
+        return getattr(matrix, name)
+    raise AttributeError(name)

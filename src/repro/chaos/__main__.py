@@ -1,0 +1,7 @@
+"""``python -m repro.chaos``: run the full chaos scenario matrix."""
+
+import sys
+
+from repro.chaos.matrix import main
+
+sys.exit(main())

@@ -1,0 +1,237 @@
+"""The chaos scenario matrix: fault dimensions x adversary presets.
+
+Every scenario pairs one of the named presets (shrunk to a short election
+window so the whole matrix runs in seconds) with one timed fault dimension,
+its event times expressed as fractions of the voting window.  Above-threshold
+scenarios -- more simultaneous VC faults than ``fv`` -- are marked
+``expect_failure=True`` and the harness asserts liveness *does* fail there,
+demonstrating the ``Nv >= 3 fv + 1`` bound is exact.
+
+``python -m repro.chaos.matrix`` runs everything, writes one
+``<scenario>.recovery.json`` artifact per scenario under
+``benchmarks/results/chaos/`` plus an aggregate ``matrix.json``, and exits
+non-zero on any determinism, safety or liveness violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.determinism import ScenarioVerdict, check_scenario
+from repro.api.spec import (
+    PRESETS,
+    ClockSkew,
+    CrashNode,
+    FaultPlan,
+    LossBurst,
+    Partition,
+    RecoverNode,
+    ScenarioSpec,
+)
+
+#: voting window used by every matrix scenario; long enough for recovery
+#: events at 1.3x the window to land well after consensus finishes.
+MATRIX_ELECTION_END = 200.0
+
+DEFAULT_OUTPUT_DIR = Path("benchmarks/results/chaos")
+
+
+def _fault_dimensions(window: float) -> Dict[str, FaultPlan]:
+    """In-threshold fault dimensions, times scaled to the voting window."""
+
+    def vc_split() -> Partition:
+        return Partition(
+            t_start=0.10 * window,
+            t_end=0.30 * window,
+            groups=(("VC-0", "VC-1"), ("VC-2", "VC-3")),
+        )
+
+    return {
+        "baseline": FaultPlan(),
+        "crash_recover_mid": FaultPlan(
+            events=(
+                CrashNode(t=0.10 * window, node="VC-1"),
+                RecoverNode(t=0.50 * window, node="VC-1"),
+            )
+        ),
+        "crash_recover_post": FaultPlan(
+            events=(
+                CrashNode(t=0.50 * window, node="VC-1"),
+                RecoverNode(t=1.30 * window, node="VC-1"),
+            )
+        ),
+        "crash_no_return": FaultPlan(
+            events=(CrashNode(t=0.60 * window, node="VC-2"),)
+        ),
+        "partition_heal": FaultPlan(events=(vc_split(),)),
+        "loss_burst": FaultPlan(
+            events=(LossBurst(t_start=0.20 * window, t_end=0.40 * window, rate=0.2),)
+        ),
+        "clock_skew": FaultPlan(
+            events=(
+                ClockSkew(node="VC-3", drift=0.02, t=0.05 * window),
+                ClockSkew(node="VC-0", drift=-0.02, t=0.05 * window),
+            )
+        ),
+        "combined": FaultPlan(
+            events=(
+                vc_split(),
+                LossBurst(t_start=0.35 * window, t_end=0.45 * window, rate=0.15),
+                CrashNode(t=0.55 * window, node="VC-1"),
+                RecoverNode(t=0.80 * window, node="VC-1"),
+            )
+        ),
+    }
+
+
+#: network-only dimensions are safe to combine with Byzantine presets whose
+#: VC fault budget (fv) is already spent on equivocators.
+_NETWORK_ONLY = ("baseline", "partition_heal", "loss_burst", "clock_skew")
+
+
+def build_matrix() -> List[Tuple[str, ScenarioSpec]]:
+    """Every (name, spec) pair of the chaos matrix, deterministic order."""
+    window = MATRIX_ELECTION_END
+    dimensions = _fault_dimensions(window)
+    scenarios: List[Tuple[str, ScenarioSpec]] = []
+
+    def shrink(preset: str) -> ScenarioSpec:
+        return PRESETS[preset]().derive(election_end=window)
+
+    # Fault-free + crash/partition/loss/skew dimensions on the honest presets.
+    for preset in ("paper_baseline", "batched_fast"):
+        base = shrink(preset)
+        for dim_name, plan in dimensions.items():
+            scenarios.append((f"{preset}/{dim_name}", base.derive(faults=plan)))
+
+    # The Byzantine preset already spends fv on an equivocating VC: only the
+    # network-fault dimensions stay within threshold on top of it.
+    byzantine = shrink("byzantine_stress")
+    for dim_name in _NETWORK_ONLY:
+        scenarios.append(
+            (f"byzantine_stress/{dim_name}", byzantine.derive(faults=dimensions[dim_name]))
+        )
+
+    # The national-scale rehearsal deployment, fault-free and under recovery.
+    national = shrink("national_scale")
+    for dim_name in ("baseline", "crash_recover_mid"):
+        scenarios.append(
+            (f"national_scale/{dim_name}", national.derive(faults=dimensions[dim_name]))
+        )
+
+    # Above-threshold scenarios: liveness must fail at EXACTLY the paper's
+    # bound.  Nv=4 tolerates fv=1, so two simultaneously crashed VC nodes --
+    # or one crash on top of the equivocating VC -- exceed it.
+    two_crashes = FaultPlan(
+        events=(
+            CrashNode(t=0.0, node="VC-0"),
+            CrashNode(t=0.0, node="VC-1"),
+        ),
+        expect_failure=True,
+    )
+    scenarios.append(
+        ("paper_baseline/two_crashed_above_threshold",
+         shrink("paper_baseline").derive(faults=two_crashes))
+    )
+    byzantine_plus_crashes = FaultPlan(
+        events=(
+            CrashNode(t=0.0, node="VC-0"),
+            CrashNode(t=0.0, node="VC-1"),
+        ),
+        expect_failure=True,
+    )
+    scenarios.append(
+        ("byzantine_stress/crashes_above_threshold",
+         byzantine.derive(faults=byzantine_plus_crashes))
+    )
+    return scenarios
+
+
+def run_matrix(
+    seeds: Sequence[int] = (),
+    only: Optional[str] = None,
+    output_dir: Optional[Path] = None,
+) -> List[ScenarioVerdict]:
+    """Run (a filtered subset of) the matrix, writing recovery.json artifacts."""
+    verdicts: List[ScenarioVerdict] = []
+    for name, spec in build_matrix():
+        if only and only not in name:
+            continue
+        for verdict in check_scenario(name, spec, seeds=seeds):
+            verdicts.append(verdict)
+            if output_dir is not None:
+                artifact = output_dir / f"{name.replace('/', '__')}.recovery.json"
+                artifact.parent.mkdir(parents=True, exist_ok=True)
+                artifact.write_text(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    return verdicts
+
+
+def _summarize(verdicts: List[ScenarioVerdict]) -> Dict:
+    return {
+        "scenarios": len(verdicts),
+        "passed": sum(1 for v in verdicts if v.passed),
+        "failed": [v.name for v in verdicts if not v.passed],
+        "nondeterministic": [v.name for v in verdicts if not v.deterministic],
+        "safety_violations": {v.name: v.safety for v in verdicts if v.safety},
+        "liveness_mismatches": [
+            {"name": v.name, "live": v.live, "expected_live": v.expected_live}
+            for v in verdicts
+            if v.live != v.expected_live
+        ],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds",
+        default="",
+        help="comma-separated extra seeds (default: each scenario's own seed)",
+    )
+    parser.add_argument("--only", default=None, help="substring filter on scenario names")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUTPUT_DIR,
+        help=f"artifact directory (default: {DEFAULT_OUTPUT_DIR})",
+    )
+    parser.add_argument(
+        "--no-artifacts", action="store_true", help="skip writing recovery.json files"
+    )
+    args = parser.parse_args(argv)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    output_dir = None if args.no_artifacts else args.out
+
+    verdicts = run_matrix(seeds=seeds, only=args.only, output_dir=output_dir)
+    summary = _summarize(verdicts)
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / "matrix.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True)
+        )
+
+    for verdict in verdicts:
+        status = "ok" if verdict.passed else "FAIL"
+        detail = "live" if verdict.live else "not-live"
+        print(
+            f"[{status}] {verdict.name} seed={verdict.seed} {detail} "
+            f"receipts={verdict.receipts} hash={verdict.hash_first[:12]}"
+        )
+    print(
+        f"\n{summary['passed']}/{summary['scenarios']} scenarios passed; "
+        f"nondeterministic={len(summary['nondeterministic'])}, "
+        f"safety_violations={len(summary['safety_violations'])}, "
+        f"liveness_mismatches={len(summary['liveness_mismatches'])}"
+    )
+    if summary["failed"]:
+        print("failed:", ", ".join(summary["failed"]))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

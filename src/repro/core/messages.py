@@ -162,3 +162,44 @@ class MskShareUpload:
 
     share: SignedShare
     sender: str
+
+
+# ---------------------------------------------------------------------------
+# Durable VC state (crash / recovery)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BallotStateEntry:
+    """Durable per-ballot state of one VC node, as persisted at crash time.
+
+    Only ballots with non-default state are snapshotted.  ``endorsed_code``
+    is the code this node has signed an ENDORSEMENT for -- it must survive a
+    restart, or a recovered node could endorse a *second* code for the same
+    ballot and break UCERT uniqueness.
+    """
+
+    serial: int
+    status: str
+    used_vote_code: Optional[bytes]
+    endorsed_code: Optional[bytes]
+    receipt: Optional[bytes]
+    ucert: Optional[UniquenessCertificate]
+    receipt_shares: Tuple[Tuple[str, SignedShare], ...]
+
+
+@dataclass(frozen=True)
+class VcStateSnapshot:
+    """A VC node's minimal durable state, wire-encodable via the codec.
+
+    This is what the chaos harness persists when it crashes a node and what
+    :meth:`repro.core.vote_collector.VoteCollectorNode.restore_state` rebuilds
+    a node from -- the simulation equivalent of restarting a process from its
+    write-ahead state on disk.  Volatile state (in-flight endorsement
+    collections, waiting voters, consensus instances) is deliberately absent:
+    a restarted process has lost it and the protocol re-derives it.
+    """
+
+    node_id: str
+    voting_closed: bool
+    entries: Tuple[BallotStateEntry, ...]

@@ -39,6 +39,9 @@ class ElectionOutcome:
     #: per-phase durations in *simulated* time (seconds of network time), so
     #: they are deterministic for a fixed scenario seed.
     phase_timings: Dict[str, float] = field(default_factory=dict)
+    #: what the chaos controller did during the run (crashes, recoveries,
+    #: partitions, catch-ups); ``None`` for runs without a fault plan.
+    chaos_report: Optional[Dict] = None
 
     @property
     def receipts_obtained(self) -> int:

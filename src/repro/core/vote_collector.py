@@ -35,12 +35,14 @@ from repro.core.ea import VcInitData, bb_node_id, vc_node_id
 from repro.core.election import ElectionParameters
 from repro.core.messages import (
     Announce,
+    BallotStateEntry,
     Endorse,
     Endorsement,
     MskShareUpload,
     RecoverRequest,
     RecoverResponse,
     UniquenessCertificate,
+    VcStateSnapshot,
     VotePending,
     VoteReceipt,
     VoteRejected,
@@ -199,6 +201,11 @@ class VoteCollectorNode(SimNode):
         self.receipts_issued = 0
         self.votes_rejected = 0
         self.vsc_stats = VscStats()
+
+        # Crash/recovery bookkeeping (driven by the chaos harness).
+        self.crashes = 0
+        self.recovered_at: Optional[float] = None
+        self.caught_up_from_bb = False
 
     # ------------------------------------------------------------------ dispatch
 
@@ -635,6 +642,123 @@ class VoteCollectorNode(SimNode):
         )
         self.final_vote_set = vote_set
         self.uploaded = True
+        self._upload_vote_set(vote_set)
+
+    def _upload_vote_set(self, vote_set: Tuple[Tuple[int, bytes], ...]) -> None:
         for bb in self.bb_nodes:
             self.send(bb, VoteSetUpload(vote_set, self.node_id))
             self.send(bb, MskShareUpload(self.init.msk_share, self.node_id))
+
+    # ------------------------------------------------------------------ crash / recovery
+
+    def snapshot_state(self, codec=None) -> bytes:
+        """Serialize this node's minimal durable state through the wire codec.
+
+        The snapshot is what a real deployment would hold in write-ahead
+        storage: per-ballot status, the (at most one) endorsed vote code, the
+        UCERT, receipt and collected receipt shares.  Everything else --
+        in-flight endorsement collections, waiting voters, consensus
+        instances, superblock progress -- is volatile process memory a
+        restart legitimately loses.
+        """
+        if codec is None:
+            from repro.net.codec import default_codec
+
+            codec = default_codec()
+        entries = []
+        for serial in sorted(self.ballots):
+            record = self.ballots[serial]
+            endorsed = self.endorsed.get(serial)
+            if (
+                record.status is BallotStatus.NOT_VOTED
+                and endorsed is None
+                and not record.receipt_shares
+            ):
+                continue
+            entries.append(
+                BallotStateEntry(
+                    serial=serial,
+                    status=record.status.value,
+                    used_vote_code=record.used_vote_code,
+                    endorsed_code=endorsed,
+                    receipt=record.receipt,
+                    ucert=record.ucert,
+                    receipt_shares=tuple(sorted(record.receipt_shares.items())),
+                )
+            )
+        snapshot = VcStateSnapshot(
+            node_id=self.node_id,
+            voting_closed=self.voting_closed,
+            entries=tuple(entries),
+        )
+        return codec.encode(snapshot)
+
+    def restore_state(self, data: bytes, codec=None) -> None:
+        """Restart this node from a :meth:`snapshot_state` byte string.
+
+        Every volatile structure is reset to its boot state before the
+        durable entries are replayed, exactly as a process restart would
+        re-read its persisted ballots into a fresh heap.
+        """
+        if codec is None:
+            from repro.net.codec import default_codec
+
+            codec = default_codec()
+        snapshot = codec.decode(data)
+        if not isinstance(snapshot, VcStateSnapshot):
+            raise TypeError(f"expected a VcStateSnapshot frame, got {type(snapshot).__name__}")
+        if snapshot.node_id != self.node_id:
+            raise ValueError(
+                f"snapshot belongs to {snapshot.node_id!r}, not {self.node_id!r}"
+            )
+
+        # Boot state: wipe everything volatile.
+        self.ballots = {serial: BallotRecord() for serial in self.init.ballots}
+        self.endorsed = {}
+        self.voting_closed = snapshot.voting_closed
+        self.consensus = {}
+        self.vsc_started = False
+        self.final_vote_set = None
+        self.uploaded = False
+        self.superblocks = {}
+        self._sb_buffer = {}
+        if self.batch_size > 1:
+            self._sb_pending_announces = {
+                block_id: set(serials) for block_id, serials in self._block_serials.items()
+            }
+
+        # Replay the durable entries.
+        for entry in snapshot.entries:
+            record = self.ballots.get(entry.serial)
+            view = self.init.ballots.get(entry.serial)
+            if record is None or view is None:
+                continue
+            record.status = BallotStatus(entry.status)
+            record.used_vote_code = entry.used_vote_code
+            record.receipt = entry.receipt
+            record.ucert = entry.ucert
+            record.receipt_shares = dict(entry.receipt_shares)
+            if entry.used_vote_code is not None:
+                record.location = view.find_vote_code(entry.used_vote_code)
+            if entry.endorsed_code is not None:
+                self.endorsed[entry.serial] = entry.endorsed_code
+        self.recovered_at = self.now if self.network is not None else None
+
+    def adopt_final_vote_set(self, vote_set: Tuple[Tuple[int, bytes], ...]) -> None:
+        """Catch up after a crash: adopt the BB-agreed vote set as final.
+
+        A node that was down while its peers ran Vote Set Consensus cannot
+        join the finished instances; the paper's recovery path is to read the
+        agreed result from the (majority of) Bulletin Board nodes.  Adopting
+        it and uploading our own copy plus our ``msk`` share strengthens both
+        BB thresholds (``fv + 1`` identical vote sets, ``Nv - fv`` key
+        shares) for readers that come later.
+        """
+        if self.uploaded:
+            return
+        self.voting_closed = True
+        self.vsc_started = True
+        self.final_vote_set = tuple(vote_set)
+        self.uploaded = True
+        self.caught_up_from_bb = True
+        self._upload_vote_set(self.final_vote_set)

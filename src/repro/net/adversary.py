@@ -16,6 +16,7 @@ simulator this is split into:
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Set
@@ -43,6 +44,19 @@ class NetworkConditions:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+
+    def replace(self, **changes) -> "NetworkConditions":
+        """A copy with some fields changed that *keeps the live RNG stream*.
+
+        ``dataclasses.replace`` re-runs ``__post_init__`` and therefore
+        rebuilds the RNG from the seed, replaying the latency/loss stream
+        from the start -- which silently de-randomizes any run that changes
+        conditions mid-flight (a chaos loss burst, a profile switch).  Use
+        this method instead: the copy continues the original's stream.
+        """
+        copy = dataclasses.replace(self, **changes)
+        copy._rng = self._rng
+        return copy
 
     def sample_latency(self) -> float:
         """Sample the delivery latency for one message."""
@@ -84,6 +98,10 @@ class Adversary:
     delay_rules: list = field(default_factory=list)
     #: pairs (sender, receiver) whose messages are silently dropped
     blocked_links: Set[tuple] = field(default_factory=set)
+    #: the subset of ``blocked_links`` installed by :meth:`partition`, so
+    #: healing a partition does not clear links blocked independently via
+    #: :meth:`block_link`
+    partition_links: Set[tuple] = field(default_factory=set)
 
     # -- corruption queries -----------------------------------------------------
 
@@ -116,18 +134,39 @@ class Adversary:
 
     def unblock_link(self, sender: str, receiver: str) -> None:
         self.blocked_links.discard((sender, receiver))
+        self.partition_links.discard((sender, receiver))
 
-    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
-        """Block every link between two groups of nodes (both directions)."""
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> Set[tuple]:
+        """Block every link between two groups of nodes (both directions).
+
+        Returns the set of links this call installed (links that were already
+        blocked for another reason are not included), so a caller can heal
+        exactly this partition.
+        """
         group_a, group_b = list(group_a), list(group_b)
+        installed: Set[tuple] = set()
         for a in group_a:
             for b in group_b:
-                self.block_link(a, b)
-                self.block_link(b, a)
+                for link in ((a, b), (b, a)):
+                    if link not in self.blocked_links:
+                        self.blocked_links.add(link)
+                        self.partition_links.add(link)
+                        installed.add(link)
+        return installed
 
     def heal_partition(self) -> None:
-        """Remove every blocked link."""
-        self.blocked_links.clear()
+        """Remove every partition-created blocked link.
+
+        Links installed independently via :meth:`block_link` stay blocked --
+        healing a partition must not silently lift unrelated fault injection.
+        """
+        self.blocked_links -= self.partition_links
+        self.partition_links.clear()
+
+    def heal_links(self, links: Iterable[tuple]) -> None:
+        """Unblock exactly the given links (e.g. one timed partition's set)."""
+        for link in links:
+            self.unblock_link(*link)
 
     def add_delay_rule(self, predicate: Callable[[Message], bool], extra_delay: float) -> None:
         """Delay every message matching ``predicate`` by ``extra_delay``."""

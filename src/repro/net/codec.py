@@ -45,12 +45,14 @@ from repro.consensus.batching import (
 from repro.consensus.interfaces import Aux, BVal, ConsensusMessage, Finish
 from repro.core.messages import (
     Announce,
+    BallotStateEntry,
     Endorse,
     Endorsement,
     MskShareUpload,
     RecoverRequest,
     RecoverResponse,
     UniquenessCertificate,
+    VcStateSnapshot,
     VotePending,
     VoteReceipt,
     VoteRejected,
@@ -589,6 +591,55 @@ def _install_default_types(codec: MessageCodec) -> None:
         return MskShareUpload(c.decode_embedded(r, SignedShare), r.vstr())
 
     reg(0x0E, MskShareUpload, enc_msk_share_upload, dec_msk_share_upload)
+
+    # -- durable VC state for crash/recovery (0x0F..) -----------------------
+
+    def enc_ballot_state(c: MessageCodec, m: BallotStateEntry, out: bytearray) -> None:
+        _w_vint(out, m.serial)
+        _w_vstr(out, m.status)
+        _opt_bytes(out, m.used_vote_code)
+        _opt_bytes(out, m.endorsed_code)
+        _opt_bytes(out, m.receipt)
+        if m.ucert is None:
+            _w_u8(out, 0)
+        else:
+            _w_u8(out, 1)
+            c.encode_embedded(m.ucert, out)
+        _w_u32(out, len(m.receipt_shares))
+        for sender, share in m.receipt_shares:
+            _w_vstr(out, sender)
+            c.encode_embedded(share, out)
+
+    def dec_ballot_state(c: MessageCodec, r: _Reader) -> BallotStateEntry:
+        serial = r.vint()
+        status = r.vstr()
+        used = r.vbytes() if _read_opt(r) else None
+        endorsed = r.vbytes() if _read_opt(r) else None
+        receipt = r.vbytes() if _read_opt(r) else None
+        ucert = c.decode_embedded(r, UniquenessCertificate) if _read_opt(r) else None
+        count = r.u32()
+        shares = tuple(
+            (r.vstr(), c.decode_embedded(r, SignedShare)) for _ in range(count)
+        )
+        return BallotStateEntry(serial, status, used, endorsed, receipt, ucert, shares)
+
+    reg(0x0F, BallotStateEntry, enc_ballot_state, dec_ballot_state)
+
+    def enc_vc_snapshot(c: MessageCodec, m: VcStateSnapshot, out: bytearray) -> None:
+        _w_vstr(out, m.node_id)
+        _w_u8(out, 1 if m.voting_closed else 0)
+        _w_u32(out, len(m.entries))
+        for entry in m.entries:
+            c.encode_embedded(entry, out)
+
+    def dec_vc_snapshot(c: MessageCodec, r: _Reader) -> VcStateSnapshot:
+        node_id = r.vstr()
+        closed = _read_opt(r)
+        count = r.u32()
+        entries = tuple(c.decode_embedded(r, BallotStateEntry) for _ in range(count))
+        return VcStateSnapshot(node_id, closed, entries)
+
+    reg(0x10, VcStateSnapshot, enc_vc_snapshot, dec_vc_snapshot)
 
     # -- binary consensus (0x20..) ------------------------------------------
 

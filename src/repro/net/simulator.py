@@ -26,12 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(order=True)
 class Event:
-    """An entry in the simulator's priority queue."""
+    """An entry in the simulator's priority queue.
+
+    ``owner`` names the node whose local processing the event represents (a
+    timer, a scheduled local action): events owned by a node that is crashed
+    when they fire are suppressed, exactly as a dead process loses its
+    in-memory timers.
+    """
 
     time: float
     sequence: int
     action: Callable[[], None] = field(compare=False)
     description: str = field(compare=False, default="")
+    owner: Optional[str] = field(compare=False, default=None)
 
 
 class SimNode:
@@ -74,8 +81,14 @@ class SimNode:
             self.send(receiver, payload, channel)
 
     def set_timer(self, delay: float, callback: Callable[[], None], description: str = "timer") -> None:
-        """Schedule a local callback ``delay`` time units in the future."""
-        self.network.schedule(delay, callback, description=f"{self.node_id}:{description}")
+        """Schedule a local callback ``delay`` time units in the future.
+
+        The timer is owned by this node: it does not fire while the node is
+        crashed (a restarted process has lost its in-memory timers).
+        """
+        self.network.schedule(
+            delay, callback, description=f"{self.node_id}:{description}", owner=self.node_id
+        )
 
     # -- handlers ------------------------------------------------------------------
 
@@ -104,6 +117,11 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: nodes currently crashed: they neither receive messages nor run
+        #: their owned timers until :meth:`recover` is called.
+        self.crashed_nodes: set = set()
+        #: owned events skipped because their owner was crashed at fire time
+        self.events_suppressed = 0
         if transport is None:
             from repro.net.transport import InProcessTransport
 
@@ -140,11 +158,30 @@ class Network:
         """Current global time."""
         return self.clocks.global_clock.now
 
+    # -- crash / recovery --------------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Take a node down: no deliveries, no owned timers, until recovery."""
+        if node_id not in self.nodes:
+            raise ValueError(f"cannot crash unknown node {node_id!r}")
+        self.crashed_nodes.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Bring a crashed node back; messages start flowing to it again."""
+        self.crashed_nodes.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self.crashed_nodes
+
     # -- sending ---------------------------------------------------------------
 
     def submit(self, sender: str, receiver: str, payload: Any,
                channel: ChannelKind = ChannelKind.AUTHENTICATED) -> None:
         """Submit a message for (possible) delivery."""
+        if sender in self.crashed_nodes:
+            # A dead process cannot put anything on the wire.  (Defensive:
+            # crashed nodes never run handlers, so they rarely reach here.)
+            return
         self.messages_sent += 1
         message = Message(
             sender=sender,
@@ -179,6 +216,14 @@ class Network:
             receiver = self.nodes.get(message.receiver)
             if receiver is None:
                 return
+            if message.receiver in self.crashed_nodes:
+                # The frame reaches the host but the process is down; the
+                # sender sees a drop (protocols retransmit, as the paper
+                # assumes).
+                self.messages_dropped += 1
+                message.wire_frame = None
+                self.delivery_log.append(DeliveryRecord(message, None, dropped=True))
+                return
             payload = self.transport.deliver(message)
             if payload is not message.payload:
                 message.payload = payload
@@ -194,13 +239,21 @@ class Network:
 
     # -- event queue --------------------------------------------------------------
 
-    def schedule(self, delay: float, action: Callable[[], None], description: str = "") -> None:
+    def schedule(self, delay: float, action: Callable[[], None], description: str = "",
+                 owner: Optional[str] = None) -> None:
         """Schedule an action ``delay`` time units from now."""
-        self.schedule_at(self.now + max(delay, 0.0), action, description)
+        self.schedule_at(self.now + max(delay, 0.0), action, description, owner=owner)
 
-    def schedule_at(self, timestamp: float, action: Callable[[], None], description: str = "") -> None:
-        """Schedule an action at an absolute global time."""
-        heapq.heappush(self._queue, Event(timestamp, next(self._sequence), action, description))
+    def schedule_at(self, timestamp: float, action: Callable[[], None], description: str = "",
+                    owner: Optional[str] = None) -> None:
+        """Schedule an action at an absolute global time.
+
+        ``owner`` marks the event as local processing of one node; it is
+        suppressed if that node is crashed when the event fires.
+        """
+        heapq.heappush(
+            self._queue, Event(timestamp, next(self._sequence), action, description, owner)
+        )
 
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
@@ -208,6 +261,9 @@ class Network:
             return False
         event = heapq.heappop(self._queue)
         self.clocks.global_clock.advance_to(event.time)
+        if event.owner is not None and event.owner in self.crashed_nodes:
+            self.events_suppressed += 1
+            return True
         event.action()
         return True
 

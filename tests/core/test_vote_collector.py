@@ -213,3 +213,86 @@ class TestVoteSetConsensus:
         voter.cast("VC-0", ballot.serial, ballot.part_a.lines[0].vote_code)
         network.run_until_idle(max_events=2_000_000)
         assert voter.receipts == []
+
+
+class TestCrashSnapshot:
+    """Durable-state snapshot/restore through the wire codec."""
+
+    def run_one_vote(self, vc_setup, seed=3):
+        params, setup = vc_setup
+        network, nodes, voter = build_vc_network(params, setup, seed=seed)
+        ballot = setup.ballots[0]
+        line = ballot.part_a.lines[0]
+        voter.cast("VC-0", ballot.serial, line.vote_code)
+        network.run_until_idle()
+        return params, setup, network, nodes, ballot, line
+
+    def test_snapshot_restore_round_trips_ballot_state(self, vc_setup):
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        node = nodes[0]
+        snapshot = node.snapshot_state()
+        before = node.ballots[ballot.serial]
+        node.restore_state(snapshot)
+        after = node.ballots[ballot.serial]
+        assert after.status is BallotStatus.VOTED
+        assert after.used_vote_code == line.vote_code
+        assert after.receipt == line.receipt
+        assert after.ucert == before.ucert
+        assert after.receipt_shares == before.receipt_shares
+        assert after.location == before.location
+        assert node.endorsed[ballot.serial] == line.vote_code
+
+    def test_snapshot_skips_untouched_ballots(self, vc_setup):
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        from repro.net.codec import default_codec
+
+        decoded = default_codec().decode(nodes[0].snapshot_state())
+        assert [entry.serial for entry in decoded.entries] == [ballot.serial]
+
+    def test_restore_resets_volatile_consensus_state(self, vc_setup):
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        node = nodes[0]
+        snapshot = node.snapshot_state()
+        node.end_election()
+        assert node.vsc_started
+        node.restore_state(snapshot)
+        assert not node.vsc_started
+        assert node.consensus == {}
+        assert node.final_vote_set is None
+        assert not node.uploaded
+
+    def test_restore_rejects_foreign_snapshot(self, vc_setup):
+        params, setup, network, nodes, *_ = self.run_one_vote(vc_setup)
+        snapshot = nodes[0].snapshot_state()
+        with pytest.raises(ValueError, match="belongs to"):
+            nodes[1].restore_state(snapshot)
+
+    def test_restore_rejects_wrong_frame_type(self, vc_setup):
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        from repro.net.codec import default_codec
+
+        frame = default_codec().encode(VoteRequest(1, b"x", "v"))
+        with pytest.raises(TypeError):
+            nodes[0].restore_state(frame)
+
+    def test_endorsed_code_survives_restart(self, vc_setup):
+        # Safety across restarts: a recovered node must remember which code
+        # it endorsed, or it could sign a second code for the same ballot.
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        node = nodes[0]
+        node.restore_state(node.snapshot_state())
+        other_line = ballot.part_b.lines[0]
+        assert node.endorsed.get(ballot.serial) == line.vote_code
+        assert node.endorsed.get(ballot.serial) != other_line.vote_code
+
+    def test_adopt_final_vote_set_uploads_once(self, vc_setup):
+        params, setup, network, nodes, ballot, line = self.run_one_vote(vc_setup)
+        node = nodes[0]
+        vote_set = ((ballot.serial, line.vote_code),)
+        node.adopt_final_vote_set(vote_set)
+        assert node.final_vote_set == vote_set
+        assert node.uploaded
+        assert node.caught_up_from_bb
+        # Idempotent: a second adoption does not overwrite or re-upload.
+        node.adopt_final_vote_set(())
+        assert node.final_vote_set == vote_set

@@ -11,12 +11,14 @@ from repro.consensus.batching import (
 from repro.consensus.interfaces import Aux, BVal, Finish
 from repro.core.messages import (
     Announce,
+    BallotStateEntry,
     Endorse,
     Endorsement,
     MskShareUpload,
     RecoverRequest,
     RecoverResponse,
     UniquenessCertificate,
+    VcStateSnapshot,
     VotePending,
     VoteReceipt,
     VoteRejected,
@@ -77,6 +79,18 @@ def sample_messages(signature):
         ),
         VoteSetUpload(((7, b"code-bytes"), (9, b"other")), "VC-2"),
         MskShareUpload(signed_share, "VC-2"),
+        BallotStateEntry(
+            7, "voted", b"code-bytes", b"code-bytes", b"\x00" * 8, ucert,
+            (("VC-1", signed_share),),
+        ),
+        VcStateSnapshot(
+            "VC-0",
+            True,
+            (
+                BallotStateEntry(7, "voted", b"code-bytes", None, None, None, ()),
+                BallotStateEntry(9, "not-voted", None, b"other", None, None, ()),
+            ),
+        ),
         BVal("sb|0", 2, 1),
         Aux("12", 0, 0),
         Finish("12", 1),
