@@ -1,18 +1,32 @@
-"""Micro-benchmarks of the cryptographic substrates.
+"""Micro-benchmarks of the cryptographic substrates, plus the backend sweep.
 
 These are not figures from the paper; they calibrate and sanity-check the
 cost model used by the figure benchmarks (e.g. the relative cost of signature
 verification vs. hashing) and track performance regressions of the library
 itself.  They use pytest-benchmark's normal statistics (multiple rounds).
+
+``test_backend_sweep`` times the registry backends side by side on the hot
+primitives (fixed-base power, plain mod-exp, 8-way multi-exponentiation,
+sign/verify) and writes ``benchmarks/results/micro_crypto_backends.json``.
+When gmpy2 is installed (the ``.[fast]`` extra / the gmpy2 CI leg) the sweep
+gates a >= 10x speedup of the gmpy2 backend over pure python on
+``multi_power`` and ``fixed_base`` at the security-equivalent 2048-bit
+parameterization -- at the 256-bit test parameters python's own bignums are
+close enough to GMP that the toy rows are informational only.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
 from repro.crypto.commitments import OptionEncodingScheme
 from repro.crypto.elgamal import LiftedElGamal
-from repro.crypto.group import SchnorrGroup
+from repro.crypto.gmpy2_backend import HAVE_GMPY2
+from repro.crypto.group import RFC3526_MODP_2048
+from repro.crypto.registry import get_group
 from repro.crypto.shamir import ShamirSecretSharing
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.symmetric import VoteCodeCipher, commit_vote_code, random_vote_code
@@ -23,7 +37,7 @@ from repro.crypto.zkp import (
     fiat_shamir_challenge,
 )
 
-GROUP = SchnorrGroup()
+GROUP = get_group("schnorr")
 ELGAMAL = LiftedElGamal(GROUP)
 KEYS = ELGAMAL.keygen(RandomSource(1))
 SIGNER = SignatureScheme(GROUP)
@@ -98,3 +112,98 @@ def test_bench_vote_code_encryption(benchmark):
     cipher = VoteCodeCipher(VoteCodeCipher.generate_key(RandomSource(8)))
     code = random_vote_code(RandomSource(9))
     benchmark(cipher.encrypt, code)
+
+
+# ---------------------------------------------------------------------------
+# Backend sweep
+# ---------------------------------------------------------------------------
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+RFC3526_2048 = RFC3526_MODP_2048
+
+#: (row label, registry name, constructor params)
+SWEEP_BACKENDS = [
+    ("schnorr", "schnorr", {}),
+    ("schnorr-gmpy2", "schnorr-gmpy2", {}),
+    ("ed25519", "ed25519", {}),
+    ("secp256k1", "secp256k1", {}),
+    ("schnorr-2048", "schnorr", {"p": RFC3526_2048, "g": 4}),
+    ("schnorr-gmpy2-2048", "schnorr-gmpy2", {"p": RFC3526_2048, "g": 4}),
+]
+
+
+def _time_us(fn, rounds: int) -> float:
+    fn()  # warm up (builds fixed-base tables, caches, etc.)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds * 1e6
+
+
+def _sweep_one(label: str, name: str, params: dict) -> dict:
+    group = get_group(name, **params)
+    rng = RandomSource(11)
+    exps = [group.random_scalar(rng) for _ in range(10)]
+    fb = group.fixed_base(group.generator())
+    pairs = [(group.power_g(group.random_scalar(rng)), e) for e in exps[:8]]
+    signer = SignatureScheme(group)
+    keys = signer.keygen(rng)
+    signature = signer.sign(keys, b"sweep")
+    # Scale rounds to the cost: the 2048-bit pure rows are ~ms per op.
+    slow = "2048" in label or label == "secp256k1"
+    rounds = (3 if slow else 20) if SMOKE else (10 if slow else 100)
+    return {
+        "backend": label,
+        "registry_name": name,
+        "bits": group.p.bit_length() if hasattr(group, "p") else group.order.bit_length(),
+        "element_bytes": group.element_bytes,
+        "fixed_base_us": round(_time_us(lambda: fb.power(exps[0]), rounds), 1),
+        "plain_power_us": round(
+            _time_us(lambda: group.plain_power(pairs[0][0], exps[1]), rounds), 1
+        ),
+        "multi_power8_us": round(
+            _time_us(lambda: group.multi_power(pairs), max(2, rounds // 3)), 1
+        ),
+        "sign_us": round(_time_us(lambda: signer.sign(keys, b"sweep"), rounds), 1),
+        "verify_us": round(
+            _time_us(lambda: signer.verify(keys.public, b"sweep", signature), rounds), 1
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="micro-crypto")
+def test_backend_sweep(results_sink):
+    """Time every registered backend on the hot primitives; gate gmpy2."""
+    save, show = results_sink
+    rows = [_sweep_one(label, name, params) for label, name, params in SWEEP_BACKENDS]
+    by_label = {row["backend"]: row for row in rows}
+    for row in rows:
+        baseline = by_label["schnorr-2048" if "2048" in row["backend"] else "schnorr"]
+        row["multi_power_speedup"] = round(
+            baseline["multi_power8_us"] / max(row["multi_power8_us"], 0.001), 1
+        )
+        row["fixed_base_speedup"] = round(
+            baseline["fixed_base_us"] / max(row["fixed_base_us"], 0.001), 1
+        )
+    for row in rows:
+        row["gmpy2"] = HAVE_GMPY2
+    save("micro_crypto_backends", rows)
+    show("Crypto backend sweep (per-op microseconds)", rows)
+    # Sanity: every backend actually computed the same kind of things --
+    # the cross-backend *correctness* agreement lives in the property tests.
+    assert all(row["fixed_base_us"] > 0 for row in rows)
+    if not HAVE_GMPY2:
+        print("gmpy2 not installed: speedup gates skipped "
+              "(schnorr-gmpy2 rows are the pure-python fallback)")
+        return
+    # CI regression gates (the .[fast] leg): at the deployment-grade 2048-bit
+    # parameterization the GMP backend must hold an order of magnitude on the
+    # two primitives every hot path funnels into.
+    fast = by_label["schnorr-gmpy2-2048"]
+    assert fast["multi_power_speedup"] >= 10.0, fast
+    assert fast["fixed_base_speedup"] >= 10.0, fast
+    # At the 256-bit test parameters GMP must still never lose to python.
+    toy = by_label["schnorr-gmpy2"]
+    assert toy["multi_power_speedup"] >= 1.0, toy
+    assert toy["fixed_base_speedup"] >= 1.0, toy

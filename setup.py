@@ -27,5 +27,10 @@ setup(
         "lint": [
             "ruff",
         ],
+        # GMP-accelerated modular exponentiation for the "schnorr-gmpy2"
+        # crypto backend; everything degrades gracefully without it.
+        "fast": [
+            "gmpy2",
+        ],
     },
 )

@@ -45,7 +45,8 @@ from repro.core.ea import bb_node_id, trustee_id, vc_node_id, voter_id
 from repro.core.election import ElectionParameters, FaultThresholds, validate_audit_flags
 from repro.core.trustee import Trustee
 from repro.core.vote_collector import VoteCollectorNode
-from repro.crypto.group import EcGroup, Group, default_group
+from repro.crypto.group import Group
+from repro.crypto.registry import get_group, resolve_backend_name
 from repro.net.adversary import Adversary, NetworkConditions
 from repro.net.codec import MessageCodec
 from repro.net.transport import InProcessTransport, TcpLoopbackTransport, Transport
@@ -675,31 +676,47 @@ class TransportProfile:
 class CryptoProfile:
     """Cryptographic backend selection.
 
-    ``group`` picks the backend (``schnorr``: fast 256-bit safe-prime
-    subgroup, the default; ``ec``: secp256k1).  ``include_proofs=False``
-    skips ballot-correctness proof generation during setup, which speeds up
+    ``backend`` names a group backend in the crypto registry
+    (:func:`repro.crypto.get_group`): ``schnorr`` (pure-python reference, the
+    default), ``schnorr-gmpy2`` (GMP-accelerated; falls back to pure python
+    when gmpy2 is absent), ``secp256k1`` (legacy alias ``ec``), or
+    ``ed25519`` (32-byte wire elements).  The name is validated against the
+    registry at construction time and stored canonically, so it survives
+    ``to_dict``/``from_dict`` round-trips.  ``include_proofs=False`` skips
+    ballot-correctness proof generation during setup, which speeds up
     scenarios that never audit.
+
+    ``group`` is the deprecated pre-registry spelling of ``backend`` and is
+    still accepted (both as a keyword and in ``from_dict`` payloads).
     """
 
-    group: str = "schnorr"
+    backend: str = "schnorr"
     include_proofs: bool = True
+    #: deprecated alias for ``backend``; normalized away in ``__post_init__``
+    group: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.group not in ("schnorr", "ec"):
-            raise ValueError("group backend must be 'schnorr' or 'ec'")
+        name = self.backend
+        if self.group is not None:
+            if self.backend != "schnorr" and self.backend != self.group:
+                raise ValueError(
+                    "pass either backend= or the deprecated group=, not both"
+                )
+            name = self.group
+            object.__setattr__(self, "group", None)
+        object.__setattr__(self, "backend", resolve_backend_name(name))
 
     def build_group(self) -> Group:
-        if self.group == "ec":
-            return EcGroup()
-        return default_group()
+        return get_group(self.backend)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"group": self.group, "include_proofs": self.include_proofs}
+        return {"backend": self.backend, "include_proofs": self.include_proofs}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CryptoProfile":
+        name = data.get("backend", data.get("group", "schnorr"))
         return cls(
-            group=str(data.get("group", "schnorr")),
+            backend=str(name),
             include_proofs=bool(data.get("include_proofs", True)),
         )
 

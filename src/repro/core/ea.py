@@ -181,7 +181,7 @@ class ElectionAuthority:
         msk = VoteCodeCipher.generate_key(self.rng)
         cipher = VoteCodeCipher(msk)
         key_commitment = cipher.key_commitment(self.rng)
-        receipt_dealer = SigningDealer(receipt_threshold, num_vc)
+        receipt_dealer = SigningDealer(receipt_threshold, num_vc, group=self.group)
         msk_shares = receipt_dealer.deal(bytes_to_int(msk), b"msk", rng=self.rng)
 
         # Secret-sharing machinery for the trustees.

@@ -3,9 +3,13 @@
 This package provides every cryptographic building block the paper relies on,
 implemented from scratch on top of the Python standard library:
 
-* :mod:`repro.crypto.group` -- prime-order group abstraction with an
-  elliptic-curve backend (secp256k1 parameters) and a fast multiplicative
-  Schnorr-group backend for testing.
+* :mod:`repro.crypto.group` -- prime-order group abstraction (abstract
+  ``Group``/``GroupElement`` interface plus the pure-python Schnorr and
+  secp256k1 backends).
+* :mod:`repro.crypto.registry` -- named backend registry behind
+  :func:`get_group`; also home of the gmpy2-accelerated Schnorr backend
+  (:mod:`repro.crypto.gmpy2_backend`) and the Ed25519 group with 32-byte
+  elements (:mod:`repro.crypto.ed25519`).
 * :mod:`repro.crypto.elgamal` -- lifted (additively homomorphic) ElGamal.
 * :mod:`repro.crypto.commitments` -- option-encoding commitments (vectors of
   lifted ElGamal ciphertexts) with component-wise homomorphic addition.
@@ -28,8 +32,18 @@ from repro.crypto.batch_verify import (
 )
 from repro.crypto.commitments import OptionCommitment, OptionEncodingScheme
 from repro.crypto.elgamal import ElGamalCiphertext, ElGamalKeyPair, LiftedElGamal
-from repro.crypto.group import EcGroup, SchnorrGroup, default_group
+from repro.crypto.ed25519 import Ed25519Group
+from repro.crypto.gmpy2_backend import HAVE_GMPY2, Gmpy2SchnorrGroup
+from repro.crypto.group import EcGroup, Group, GroupElement, SchnorrGroup, default_group
 from repro.crypto.pedersen_vss import PedersenShare, PedersenVSS
+from repro.crypto.registry import (
+    BackendInfo,
+    available_backends,
+    backend_info,
+    get_group,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.crypto.shamir import ShamirSecretSharing, SignedShare
 from repro.crypto.signatures import SchnorrKeyPair, SchnorrSignature
 from repro.crypto.symmetric import (
@@ -41,9 +55,20 @@ from repro.crypto.symmetric import (
 from repro.crypto.zkp import BallotCorrectnessProver, BallotCorrectnessVerifier
 
 __all__ = [
+    "Group",
+    "GroupElement",
     "EcGroup",
+    "Ed25519Group",
+    "Gmpy2SchnorrGroup",
+    "HAVE_GMPY2",
     "SchnorrGroup",
     "default_group",
+    "get_group",
+    "register_backend",
+    "resolve_backend_name",
+    "available_backends",
+    "backend_info",
+    "BackendInfo",
     "BatchOutcome",
     "BatchVerifier",
     "OpeningItem",

@@ -1,26 +1,70 @@
-"""Prime-order group abstraction with two interchangeable backends.
+"""Prime-order group abstraction behind the pluggable backend registry.
 
 The paper performs all homomorphic cryptography over an elliptic curve (via
-the MIRACL library).  This module provides:
+the MIRACL library).  This module defines the abstract interface every
+backend implements -- :class:`Group` / :class:`GroupElement` plus the
+exponentiation accelerators (:class:`FixedBasePrecomputation`,
+:meth:`Group.multi_power`, :meth:`Group.cached_power`) -- and two of the
+registered backends:
 
-* :class:`EcGroup` -- a pure-Python short-Weierstrass curve with the
-  secp256k1 parameters.  Points are represented in affine coordinates with
-  Jacobian arithmetic internally for speed.
 * :class:`SchnorrGroup` -- a multiplicative subgroup of prime order ``q`` of
-  ``Z_p^*``.  Functionally identical for every protocol in this repository and
-  much faster in pure Python, so tests default to it.
+  ``Z_p^*`` (registry name ``"schnorr"``).  The reference backend: pure
+  Python, fast enough for full end-to-end election tests.
+* :class:`EcGroup` -- a pure-Python short-Weierstrass curve with the
+  secp256k1 parameters (registry name ``"secp256k1"``, legacy alias
+  ``"ec"``).  Affine arithmetic; kept as a cross-check backend.
 
-Both expose the same tiny interface (:class:`Group` / :class:`GroupElement`)
-so ElGamal, the commitments, the zero-knowledge proofs, Pedersen VSS and the
-Schnorr signatures are written once and run over either backend.
+The other backends live in sibling modules: the gmpy2-accelerated Schnorr
+group (:mod:`repro.crypto.gmpy2_backend`, ``"schnorr-gmpy2"``) and the
+Ed25519 twisted Edwards group with 32-byte compressed elements
+(:mod:`repro.crypto.ed25519`, ``"ed25519"``).
+
+Construct groups through :func:`repro.crypto.get_group` -- the registry in
+:mod:`repro.crypto.registry` -- rather than by instantiating backend classes
+directly; direct construction still works but emits a
+:class:`DeprecationWarning` (mirroring the coordinator shim of PR 3).  All
+protocol code (ElGamal, commitments, zero-knowledge proofs, Pedersen VSS,
+Schnorr signatures, batch verification) is written once against the abstract
+interface and runs over any registered backend.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.crypto.utils import RandomSource, default_random, hash_to_scalar, sha256
+
+#: Depth counter of registry-factory construction; when zero, instantiating a
+#: backend class directly warns (see :func:`repro.crypto.registry.get_group`).
+_FACTORY_DEPTH = 0
+
+
+class _factory_construction:
+    """Context manager marking group construction as registry-sanctioned."""
+
+    def __enter__(self) -> "_factory_construction":
+        global _FACTORY_DEPTH
+        _FACTORY_DEPTH += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _FACTORY_DEPTH
+        _FACTORY_DEPTH -= 1
+
+
+def _warn_direct_construction(cls: type) -> None:
+    """Emit the deprecation warning for direct backend instantiation."""
+    if _FACTORY_DEPTH == 0:
+        warnings.warn(
+            f"constructing {cls.__name__} directly is deprecated; use "
+            "repro.crypto.get_group(name, **params) so backend selection "
+            "stays registry-driven",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 class GroupElement:
@@ -111,6 +155,14 @@ class Group:
     #: order of the group (a prime)
     order: int
 
+    #: registry name of the backend (set by :func:`repro.crypto.get_group`;
+    #: ``None`` for directly constructed instances)
+    backend_name: Optional[str] = None
+
+    #: serialized size of one element in bytes, or ``None`` when elements are
+    #: variable-length (secp256k1's infinity encoding)
+    element_bytes: Optional[int] = None
+
     def __getstate__(self) -> dict:
         """Pickle without the precomputation caches.
 
@@ -151,22 +203,37 @@ class Group:
 
     # -- exponentiation accelerators -------------------------------------------
 
+    #: bound on the number of fixed-base tables one group instance retains.
+    #: The protocol's genuinely hot bases (generators, election key, VC/BB/EA
+    #: signer keys) number a few dozen; beyond that, least-recently-used
+    #: tables are evicted so a million-ballot run cannot accumulate O(bases)
+    #: tables (each table is hundreds of kilobytes).
+    MAX_FIXED_BASE_TABLES = 64
+
+    #: bound on the promotion-counter map of :meth:`cached_power`; oldest
+    #: counters are dropped first (a dropped base simply re-earns promotion).
+    MAX_TRACKED_BASES = 4096
+
     def fixed_base(self, element: GroupElement) -> FixedBasePrecomputation:
         """Return a (cached) fixed-base precomputation for ``element``.
 
-        The cache is keyed by the serialized element; the protocol only ever
-        precomputes a handful of bases (generators and public keys), so the
-        cache stays tiny.
+        The cache is keyed by the serialized element and bounded to
+        :data:`MAX_FIXED_BASE_TABLES` entries with least-recently-used
+        eviction, so long multi-election runs keep only the hot bases.
         """
-        cache: Dict[bytes, FixedBasePrecomputation] = getattr(self, "_fixed_base_cache", None)
+        cache: OrderedDict = getattr(self, "_fixed_base_cache", None)
         if cache is None:
-            cache = {}
+            cache = OrderedDict()
             self._fixed_base_cache = cache
         key = element.serialize()
         precomputed = cache.get(key)
         if precomputed is None:
             precomputed = self._build_fixed_base(element)
             cache[key] = precomputed
+            while len(cache) > self.MAX_FIXED_BASE_TABLES:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
         return precomputed
 
     def _build_fixed_base(self, element: GroupElement) -> FixedBasePrecomputation:
@@ -177,6 +244,10 @@ class Group:
     #: costs roughly eight plain exponentiations, so promoting too eagerly
     #: would slow one-shot bases down)
     PRECOMPUTE_AFTER_USES = 4
+
+    def plain_power(self, base: GroupElement, exponent: int) -> GroupElement:
+        """One plain exponentiation (backend hook for accelerated mod-exp)."""
+        return base ** exponent
 
     def cached_power(self, base: GroupElement, exponent: int) -> GroupElement:
         """``base ** exponent``, precomputing a table only for reused bases.
@@ -191,17 +262,21 @@ class Group:
         if cache is not None:
             precomputed = cache.get(base.serialize())
             if precomputed is not None:
+                cache.move_to_end(base.serialize())
                 return precomputed.power(exponent)
         counts = getattr(self, "_base_use_counts", None)
         if counts is None:
-            counts = {}
+            counts = OrderedDict()
             self._base_use_counts = counts
         key = base.serialize()
         counts[key] = counts.get(key, 0) + 1
         if counts[key] >= self.PRECOMPUTE_AFTER_USES:
             del counts[key]
             return self.fixed_base(base).power(exponent)
-        return base ** exponent
+        counts.move_to_end(key)
+        while len(counts) > self.MAX_TRACKED_BASES:
+            counts.popitem(last=False)
+        return self.plain_power(base, exponent)
 
     def power_g(self, exponent: int) -> GroupElement:
         """``g ** exponent`` through the cached fixed-base table."""
@@ -237,6 +312,25 @@ class Group:
 # ---------------------------------------------------------------------------
 # Multiplicative Schnorr group backend
 # ---------------------------------------------------------------------------
+
+
+#: RFC 3526 2048-bit MODP prime.  It is a safe prime (p = 2q + 1), so it
+#: drops into :class:`SchnorrGroup` unchanged with ``g = 4`` generating the
+#: order-q quadratic-residue subgroup.  This is the deployment-grade
+#: parameterization; the 256-bit default below trades security margin for
+#: test speed.  Used by the benchmark sweeps for security-equivalent
+#: comparisons against the 32-byte Ed25519 backend.
+RFC3526_MODP_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
 
 
 @dataclass(frozen=True)
@@ -284,10 +378,12 @@ class SchnorrGroup(Group):
     _DEFAULT_G = 4
 
     def __init__(self, p: Optional[int] = None, g: Optional[int] = None):
+        _warn_direct_construction(type(self))
         self.p = p if p is not None else self._DEFAULT_P
         self.order = (self.p - 1) // 2
+        self.element_bytes = (self.p.bit_length() + 7) // 8 + 1
         base = g if g is not None else self._DEFAULT_G
-        self._g = SchnorrElement(base % self.p, self)
+        self._g = self.element(base)
         self._h = self._derive_second_generator()
 
     def _derive_second_generator(self) -> "SchnorrElement":
@@ -298,7 +394,7 @@ class SchnorrGroup(Group):
         value = pow(candidate, 2, self.p)
         if value in (0, 1):
             value = pow(self._DEFAULT_G + 1, 2, self.p)
-        return SchnorrElement(value, self)
+        return self.element(value)
 
     def generator(self) -> SchnorrElement:
         return self._g
@@ -307,7 +403,7 @@ class SchnorrGroup(Group):
         return self._h
 
     def identity(self) -> SchnorrElement:
-        return SchnorrElement(1, self)
+        return self.element(1)
 
     def element(self, value: int) -> SchnorrElement:
         """Wrap an integer (assumed to be a subgroup member) as an element."""
@@ -316,7 +412,7 @@ class SchnorrGroup(Group):
     def deserialize(self, data: bytes) -> SchnorrElement:
         if not data.startswith(b"S"):
             raise ValueError("not a Schnorr group element")
-        return SchnorrElement(int.from_bytes(data[1:], "big"), self)
+        return self.element(int.from_bytes(data[1:], "big"))
 
     def is_member(self, element: SchnorrElement) -> bool:
         """Check subgroup membership (value^q == 1 mod p)."""
@@ -431,6 +527,7 @@ class EcGroup(Group):
     """secp256k1 written multiplicatively (point addition is ``*``)."""
 
     def __init__(self):
+        _warn_direct_construction(type(self))
         self.p = _SECP256K1_P
         self.a = _SECP256K1_A
         self.b = _SECP256K1_B
@@ -511,8 +608,10 @@ _DEFAULT_GROUP: Optional[SchnorrGroup] = None
 
 
 def default_group() -> SchnorrGroup:
-    """Return the process-wide default group (fast Schnorr backend)."""
+    """Return the process-wide default group (pure-python Schnorr backend)."""
     global _DEFAULT_GROUP
     if _DEFAULT_GROUP is None:
-        _DEFAULT_GROUP = SchnorrGroup()
+        with _factory_construction():
+            _DEFAULT_GROUP = SchnorrGroup()
+        _DEFAULT_GROUP.backend_name = "schnorr"
     return _DEFAULT_GROUP

@@ -138,9 +138,10 @@ class SigningDealer:
         num_shares: int,
         dealer_keys: Optional[SchnorrKeyPair] = None,
         prime: int = DEFAULT_PRIME,
+        group=None,
     ):
         self.sss = ShamirSecretSharing(threshold, num_shares, prime)
-        self.scheme = SignatureScheme()
+        self.scheme = SignatureScheme(group)
         self.keys = dealer_keys or self.scheme.keygen()
 
     @property

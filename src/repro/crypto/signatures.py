@@ -63,17 +63,24 @@ class SignatureScheme:
         message: bytes,
         rng: Optional[RandomSource] = None,
     ) -> SchnorrSignature:
-        """Sign ``message`` with the secret key."""
+        """Sign ``message`` with the secret key.
+
+        The arithmetic runs in the *key's* group, not the scheme's default:
+        keys are minted by the EA in the scenario's backend group and then
+        verified by nodes that may have been constructed without one, so the
+        key is the authoritative backend carrier.
+        """
         rng = rng or default_random()
-        nonce = self.group.random_scalar(rng)
-        commitment = self.group.power_g(nonce)
-        challenge = self.group.hash_to_scalar(
+        group = keys.public.group
+        nonce = group.random_scalar(rng)
+        commitment = group.power_g(nonce)
+        challenge = group.hash_to_scalar(
             b"d-demos-schnorr-sig",
             keys.public.serialize(),
             commitment.serialize(),
             message,
         )
-        response = (nonce + challenge * keys.secret) % self.group.order
+        response = (nonce + challenge * keys.secret) % group.order
         return SchnorrSignature(challenge, response, commitment)
 
     def verify(
@@ -84,14 +91,16 @@ class SignatureScheme:
         Each signer's key verifies many signatures per election (one per
         endorsement, share and trustee submission), so ``X^c`` goes through a
         per-key fixed-base table just like ``g^s`` -- built lazily once the
-        key proves hot, so one-shot keys keep plain ``pow`` speed.
+        key proves hot, so one-shot keys keep plain ``pow`` speed.  As in
+        :meth:`sign`, the group comes from the public key.
         """
+        group = public.group
         # Recompute the commitment: R = g^s / X^c.
         commitment = (
-            self.group.power_g(signature.response)
-            * self.group.cached_power(public, signature.challenge).inverse()
+            group.power_g(signature.response)
+            * group.cached_power(public, signature.challenge).inverse()
         )
-        expected = self.group.hash_to_scalar(
+        expected = group.hash_to_scalar(
             b"d-demos-schnorr-sig",
             public.serialize(),
             commitment.serialize(),

@@ -294,7 +294,7 @@ class MessageCodec:
         """Rebuild a group element from its self-describing serialization."""
         group = self.group
         if group is None:
-            group = _group_for_prefix(data[:1])
+            group = _group_for_serialized(data)
         try:
             return group.deserialize(data)
         except (ValueError, IndexError) as exc:
@@ -331,20 +331,24 @@ class MessageCodec:
         return bytes(out)
 
 
-def _group_for_prefix(prefix: bytes) -> Group:
-    from repro.crypto.group import EcGroup, default_group
+def _group_for_serialized(data: bytes) -> Group:
+    """Pick the shared registry group that can deserialize ``data``.
 
-    if prefix == b"S":
-        return default_group()
-    if prefix == b"E":
-        global _EC_GROUP
-        if _EC_GROUP is None:
-            _EC_GROUP = EcGroup()
-        return _EC_GROUP
-    raise WireFormatError(f"unknown group-element prefix {prefix!r}")
+    Ed25519 elements are bare 32-byte compressed points with no type prefix,
+    so the length check must come first: a compressed point can legitimately
+    begin with the byte that tags Schnorr elements.  Schnorr elements are 33
+    bytes (``b"S"`` + value) and secp256k1 points 2 or 66 (``b"E"`` + tag),
+    so the three encodings never collide.
+    """
+    from repro.crypto.registry import get_group
 
-
-_EC_GROUP: Optional[Group] = None
+    if len(data) == 32:
+        return get_group("ed25519")
+    if data[:1] == b"S":
+        return get_group("schnorr")
+    if data[:1] == b"E":
+        return get_group("secp256k1")
+    raise WireFormatError(f"unknown group-element prefix {data[:1]!r}")
 
 
 # ---------------------------------------------------------------------------

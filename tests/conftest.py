@@ -11,14 +11,14 @@ import pytest
 
 from repro.api import ElectionEngine, ScenarioSpec
 from repro.crypto.elgamal import LiftedElGamal
-from repro.crypto.group import SchnorrGroup
+from repro.crypto.registry import get_group
 from repro.crypto.utils import RandomSource
 
 
 @pytest.fixture(scope="session")
 def group():
     """The default (fast) Schnorr group backend."""
-    return SchnorrGroup()
+    return get_group("schnorr")
 
 
 @pytest.fixture(scope="session")

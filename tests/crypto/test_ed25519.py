@@ -1,0 +1,132 @@
+"""The Ed25519 twisted Edwards backend: curve arithmetic and 32-byte wire form."""
+
+import pickle
+
+import pytest
+
+from repro.crypto.ed25519 import _L, _P, EdPoint
+from repro.crypto.registry import get_group
+
+
+@pytest.fixture(scope="module")
+def ed():
+    return get_group("ed25519")
+
+
+class TestCurveBasics:
+    def test_rfc8032_base_point_encoding(self, ed):
+        # The canonical compressed base point from RFC 8032.
+        assert ed.generator().serialize().hex() == (
+            "5866666666666666666666666666666666666666666666666666666666666666"
+        )
+
+    def test_elements_are_32_bytes(self, ed):
+        assert ed.element_bytes == 32
+        assert len(ed.generator().serialize()) == 32
+        assert len((ed.generator() ** 123456789).serialize()) == 32
+        assert len(ed.identity().serialize()) == 32
+
+    def test_generator_has_prime_order(self, ed):
+        assert ed.order == _L
+        assert ed.generator() ** ed.order == ed.identity()
+        assert ed.generator() != ed.identity()
+
+    def test_second_generator_independent_and_in_subgroup(self, ed):
+        h = ed.second_generator()
+        assert h != ed.generator()
+        assert ed.is_member(h)
+        assert h ** ed.order == ed.identity()
+
+
+class TestGroupLaws:
+    def test_associativity_and_commutativity(self, ed):
+        a = ed.generator() ** 101
+        b = ed.generator() ** 202
+        c = ed.second_generator() ** 303
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+
+    def test_identity_and_inverse(self, ed):
+        a = ed.generator() ** 777
+        assert a * ed.identity() == a
+        assert a * a.inverse() == ed.identity()
+        assert a / a == ed.identity()
+
+    def test_exponent_laws(self, ed):
+        g = ed.generator()
+        assert g**5 * g**7 == g**12
+        assert (g**5) ** 7 == g**35
+        assert g ** (ed.order - 1) * g == ed.identity()
+
+    def test_multi_power_matches_naive(self, ed):
+        a = ed.generator() ** 11
+        b = ed.second_generator() ** 13
+        assert ed.multi_power([(a, 3), (b, 5)]) == (a**3) * (b**5)
+
+    def test_cached_power_and_fixed_base_agree(self, ed):
+        base = ed.generator() ** 31337
+        exponent = 2**200 + 12345
+        expected = base**exponent
+        for _ in range(ed.PRECOMPUTE_AFTER_USES + 1):
+            assert ed.cached_power(base, exponent) == expected
+        assert ed.fixed_base(base).power(exponent) == expected
+        assert ed.power_g(exponent) == ed.generator() ** exponent
+
+
+class TestSerialization:
+    def test_round_trip(self, ed):
+        for scalar in (1, 2, 3, 2**64, _L - 1):
+            point = ed.generator() ** scalar
+            data = point.serialize()
+            restored = ed.deserialize(data)
+            assert restored == point
+            assert restored.serialize() == data
+
+    def test_wrong_length_rejected(self, ed):
+        with pytest.raises(ValueError, match="32 bytes"):
+            ed.deserialize(b"\x01" * 31)
+        with pytest.raises(ValueError, match="32 bytes"):
+            ed.deserialize(b"\x01" * 33)
+
+    def test_non_curve_bytes_rejected(self, ed):
+        # y = 2 is not the y-coordinate of any point on the curve.
+        with pytest.raises(ValueError):
+            ed.deserialize((2).to_bytes(32, "little"))
+
+    def test_out_of_range_y_rejected(self, ed):
+        with pytest.raises(ValueError, match="out of range"):
+            ed.deserialize((_P).to_bytes(32, "little"))
+
+    def test_sign_bit_selects_x(self, ed):
+        point = ed.generator() ** 9
+        flipped = bytearray(point.serialize())
+        flipped[31] ^= 0x80
+        other = ed.deserialize(bytes(flipped))
+        assert other == point.inverse()
+
+
+class TestPickling:
+    def test_points_and_group_pickle(self, ed):
+        point = ed.generator() ** 424242
+        group2, point2 = pickle.loads(pickle.dumps((ed, point)))
+        assert point2.serialize() == point.serialize()
+        assert group2.generator() ** 424242 == point2
+
+    def test_pickled_group_drops_caches(self, ed):
+        ed.power_g(3)  # ensure at least one fixed-base table exists
+        restored = pickle.loads(pickle.dumps(ed))
+        assert not hasattr(restored, "_fixed_base_cache")
+        assert restored.power_g(3) == ed.power_g(3)
+
+
+class TestMembership:
+    def test_low_order_point_rejected(self, ed):
+        # (0, -1) is on the curve but has order 2 -- not in the subgroup.
+        low_order = EdPoint(0, _P - 1, 1, 0, ed)
+        assert not ed.is_member(low_order)
+        assert ed.is_member(ed.generator())
+        assert ed.is_member(ed.identity())
+
+    def test_off_curve_point_rejected(self, ed):
+        bogus = EdPoint(1, 1, 1, 1, ed)
+        assert not ed.is_member(bogus)

@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.crypto.group import EcGroup, FixedBasePrecomputation, SchnorrFixedBase, default_group
+from repro.crypto.group import FixedBasePrecomputation, SchnorrFixedBase, default_group
+from repro.crypto.registry import get_group
 
 
 @pytest.fixture(scope="module")
 def ec_group():
-    return EcGroup()
+    return get_group("secp256k1")
 
 
 class TestSchnorrGroup:

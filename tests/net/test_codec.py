@@ -27,7 +27,7 @@ from repro.core.messages import (
     VscBatch,
     VscEnvelope,
 )
-from repro.crypto.group import EcGroup
+from repro.crypto.registry import get_group
 from repro.crypto.pedersen_vss import PedersenShare
 from repro.crypto.shamir import Share, SignedShare, SigningDealer
 from repro.crypto.signatures import SchnorrSignature, SignatureScheme
@@ -124,7 +124,7 @@ class TestRoundTrip:
         assert codec.decode(codec.encode(bare)) == bare
 
     def test_ec_group_elements_round_trip(self):
-        group = EcGroup()
+        group = get_group("secp256k1")
         scheme = SignatureScheme(group)
         keys = scheme.keygen(RandomSource(5))
         sig = scheme.sign(keys, b"ec", RandomSource(6))

@@ -13,12 +13,12 @@ from hypothesis import strategies as st
 from repro.crypto.batch_verify import BatchVerifier, OpeningItem, SignatureItem
 from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
 from repro.crypto.elgamal import LiftedElGamal
-from repro.crypto.group import SchnorrGroup
+from repro.crypto.registry import get_group
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.utils import RandomSource
 from repro.perf.parallel import chunk_seeds
 
-GROUP = SchnorrGroup()
+GROUP = get_group("schnorr")
 SIGNER = SignatureScheme(GROUP)
 SIGNING_KEYS = SIGNER.keygen(RandomSource(31))
 ELGAMAL = LiftedElGamal(GROUP)

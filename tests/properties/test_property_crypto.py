@@ -5,13 +5,13 @@ from hypothesis import strategies as st
 
 from repro.crypto.commitments import OptionEncodingScheme
 from repro.crypto.elgamal import LiftedElGamal
-from repro.crypto.group import SchnorrGroup
+from repro.crypto.registry import get_group
 from repro.crypto.shamir import ShamirSecretSharing
 from repro.crypto.signatures import SignatureScheme
 from repro.crypto.symmetric import VoteCodeCipher, commit_vote_code, verify_vote_code
 from repro.crypto.utils import RandomSource, bytes_to_int, hash_to_scalar, int_to_bytes
 
-GROUP = SchnorrGroup()
+GROUP = get_group("schnorr")
 ELGAMAL = LiftedElGamal(GROUP)
 KEYS = ELGAMAL.keygen(RandomSource(1))
 SIGNER = SignatureScheme(GROUP)
