@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import ScenarioSpec
+from repro.perf.memory import MemoryTracker
 
 BALLOT_COUNTS = (50_000_000, 100_000_000, 150_000_000, 200_000_000, 250_000_000)
 NUM_CLIENTS = 400
@@ -25,12 +26,15 @@ BASE = ScenarioSpec.preset("national_scale", election_id="fig5a-ballots", seed=3
 
 def run_sweep():
     rows = []
+    tracker = MemoryTracker()
     for num_ballots in BALLOT_COUNTS:
         scenario = BASE.derive(registered_ballots=num_ballots)
         simulator = scenario.load_simulator(num_clients=NUM_CLIENTS)
-        result = simulator.run(target_votes=800, warmup_votes=100)
+        with tracker.track(f"n-{num_ballots}"):
+            result = simulator.run(target_votes=800, warmup_votes=100)
         row = result.as_row()
         row["num_ballots_millions"] = num_ballots // 1_000_000
+        row["peak_rss_bytes"] = tracker.peak_rss(f"n-{num_ballots}")
         rows.append(row)
     return rows
 

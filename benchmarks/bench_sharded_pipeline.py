@@ -1,0 +1,116 @@
+"""Sharded scale pipeline: ballots/sec and peak memory vs shard count.
+
+The sharded pipeline (:mod:`repro.shard`) exists to take the election far
+beyond what the full-crypto simulator can hold in memory: ballot-range shards
+run sequentially with their own collectors and superblock Vote Set Consensus,
+so the working set follows the *shard* size while the electorate grows
+arbitrarily.  This benchmark runs the same election (same seed, same election
+id, hence bit-identical ballot derivations) at 1, 4 and 16 shards through
+``MultiElectionService.run_sharded`` and records, per shard count:
+
+* ``ballots_per_s``   -- end-to-end pipeline throughput;
+* ``peak_traced_bytes`` -- tracemalloc peak of Python allocations during the
+  run, measured per-block with :class:`repro.perf.memory.MemoryTracker`
+  (resettable, unlike ``ru_maxrss``) -- this is what the memory gate asserts;
+* ``peak_rss_bytes``  -- the OS ``ru_maxrss`` high-water mark for context.
+
+Gates (CI runs this with ``SHARD_SMOKE=1`` at 100k ballots; the full run is
+1M ballots):
+
+1. every run's cross-shard commit verifies (``report.ok``);
+2. the tally AND the combined homomorphic commitment are bit-identical
+   across shard counts (sharding must not change the election's outcome);
+3. sublinear memory: the 16-shard peak is at least 2x below the 1-shard
+   peak at the same electorate (working set follows the shard, not n).
+
+Results land in ``benchmarks/results/sharded_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.api import MultiElectionService, ScenarioSpec, ShardingProfile
+from repro.perf.memory import MemoryTracker
+
+SMOKE = os.environ.get("SHARD_SMOKE") == "1"
+NUM_BALLOTS = 100_000 if SMOKE else 1_000_000
+SHARD_COUNTS = (1, 4, 16)
+MEMORY_GATE_RATIO = 2.0
+
+# Same election id and seed for every shard count: per-ballot digests depend
+# only on (seed, election id, serial), so the runs are replays of one
+# election under different partitions and must agree bit-for-bit.
+BASE = ScenarioSpec.preset("national_scale", election_id="sharded-pipeline", seed=11)
+
+
+def run_sweep():
+    tracker = MemoryTracker()
+    rows = []
+    outcomes = {}
+    for shards in SHARD_COUNTS:
+        spec = BASE.derive(
+            sharding=ShardingProfile(
+                num_shards=shards,
+                scale_batch_size=BASE.sharding.scale_batch_size,
+                scale_turnout=BASE.sharding.scale_turnout,
+            )
+        )
+        service = MultiElectionService()
+        gc.collect()
+        with tracker.track(f"shards-{shards}"):
+            report = service.run_sharded(spec, num_ballots=NUM_BALLOTS)
+        outcome = report.outcome
+        outcomes[shards] = outcome
+        sample = tracker.samples[f"shards-{shards}"]
+        rows.append(
+            {
+                "num_shards": shards,
+                "num_ballots": NUM_BALLOTS,
+                "ballots_cast": outcome.global_record.total_cast,
+                "verified": outcome.report.ok,
+                "ballots_per_s": round(outcome.ballots_per_s, 1),
+                "duration_s": round(outcome.duration_s, 3),
+                "peak_traced_bytes": sample.peak_traced_bytes,
+                "peak_rss_bytes": sample.peak_rss_bytes,
+                "tally": outcome.tally.as_dict(),
+            }
+        )
+    return rows, outcomes
+
+
+@pytest.mark.benchmark(group="shard")
+def test_sharded_pipeline_throughput_and_memory(benchmark, results_sink):
+    """Ballots/sec and peak memory at 1/4/16 shards, one shared electorate."""
+    save, show = results_sink
+    rows, outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save("sharded_pipeline", rows)
+    show(
+        f"Sharded pipeline: throughput and peak memory vs shards "
+        f"(n={NUM_BALLOTS:,}{', smoke' if SMOKE else ''})",
+        [{k: v for k, v in row.items() if k != "tally"} for row in rows],
+    )
+
+    # Gate 1: every cross-shard commit re-verified cleanly.
+    assert all(row["verified"] for row in rows)
+
+    # Gate 2: sharding must not change the outcome -- identical tallies and
+    # bit-identical combined homomorphic commitments across shard counts.
+    reference = outcomes[SHARD_COUNTS[0]]
+    for shards in SHARD_COUNTS[1:]:
+        assert outcomes[shards].tally.as_dict() == reference.tally.as_dict()
+        assert (
+            outcomes[shards].global_record.combined
+            == reference.global_record.combined
+        )
+
+    # Gate 3: sublinear memory -- at a fixed electorate the working set
+    # follows the shard size, so 16 shards must peak well below 1 shard.
+    by_shards = {row["num_shards"]: row["peak_traced_bytes"] for row in rows}
+    assert by_shards[16] * MEMORY_GATE_RATIO <= by_shards[1], (
+        f"16-shard peak {by_shards[16]:,}B is not {MEMORY_GATE_RATIO}x below "
+        f"the 1-shard peak {by_shards[1]:,}B"
+    )

@@ -8,7 +8,7 @@ Three layers (see ``docs/ARCHITECTURE.md``):
   ``CryptoProfile`` blocks, named presets, dict round-tripping);
 * :mod:`repro.api.engine` -- :class:`ElectionEngine`, an event-driven runner
   built from pluggable :class:`PhaseDriver` steps (setup, voting, consensus,
-  tally, audit) that emits the typed events of :mod:`repro.api.events`;
+  tally, merge, audit) that emits the typed events of :mod:`repro.api.events`;
 * :mod:`repro.api.service` -- :class:`MultiElectionService`, a facade that
   multiplexes N independent elections over one shared scheduler and process
   pool, with per-election RNG and timing isolation.
@@ -19,6 +19,7 @@ from repro.api.engine import (
     ConsensusDriver,
     ElectionEngine,
     EngineContext,
+    MergeDriver,
     PhaseDriver,
     SetupDriver,
     TallyDriver,
@@ -34,9 +35,14 @@ from repro.api.events import (
     EventBus,
     PhaseCompleted,
     PhaseStarted,
+    ShardMergeCompleted,
     TallyComputed,
 )
-from repro.api.service import ElectionReport, MultiElectionService
+from repro.api.service import (
+    ElectionReport,
+    MultiElectionService,
+    ShardedElectionReport,
+)
 from repro.api.spec import (
     PRESETS,
     AdversaryProfile,
@@ -51,6 +57,7 @@ from repro.api.spec import (
     Partition,
     RecoverNode,
     ScenarioSpec,
+    ShardingProfile,
     TransportProfile,
 )
 
@@ -74,6 +81,7 @@ __all__ = [
     "EventBus",
     "FaultPlan",
     "LossBurst",
+    "MergeDriver",
     "MultiElectionService",
     "NetworkProfile",
     "PRESETS",
@@ -84,6 +92,9 @@ __all__ = [
     "RecoverNode",
     "ScenarioSpec",
     "SetupDriver",
+    "ShardMergeCompleted",
+    "ShardedElectionReport",
+    "ShardingProfile",
     "TallyComputed",
     "TallyDriver",
     "TransportProfile",

@@ -33,6 +33,7 @@ from repro.api.events import (
     Observer,
     PhaseCompleted,
     PhaseStarted,
+    ShardMergeCompleted,
     TallyComputed,
 )
 from repro.api.spec import ScenarioSpec
@@ -98,6 +99,8 @@ class EngineContext:
     voters: List[VoterClient] = field(default_factory=list)
     tally: Optional[TallyResult] = None
     audit_report: Optional[object] = None
+    #: majority-read + re-verified shard-commit report (sharded runs only).
+    shard_commits: Optional[object] = None
     phase_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -320,6 +323,56 @@ class TallyDriver(PhaseDriver):
             ctx.bus.emit(TallyComputed(tally=ctx.tally.as_dict()))
 
 
+class MergeDriver(PhaseDriver):
+    """Phase 4b: verify the cross-shard commit published on the BB.
+
+    Runs only for sharded elections (``num_shards > 1``).  The driver
+    majority-reads the two-phase shard-commit report (PREPARE records plus
+    the global COMMIT) from the BB replicas and re-verifies it independently:
+    range coverage, cast-count consistency, record digests, and that the
+    recombined per-shard products equal the published global commitment.
+    The phase is always present in the default driver sequence — gated by
+    ``should_run`` — so sharded and unsharded members can share one
+    multi-election scheduler.
+    """
+
+    name = "merge"
+
+    def should_run(self, ctx: EngineContext) -> bool:
+        return ctx.params.num_shards > 1 and ctx.tally is not None
+
+    def execute(self, ctx: EngineContext) -> None:
+        from repro.shard.merge import ShardCommitReport, verify_shard_records
+
+        reader = MajorityReader(ctx.bb_nodes, ctx.params)
+        report = reader.read(lambda bb: bb.shard_commits)
+        if report is None or report.global_record is None:
+            ctx.shard_commits = ShardCommitReport(
+                records=(), global_record=None,
+                problems=("no shard-commit record reached a BB majority",),
+            )
+            return
+        scheme = ctx.bb_nodes[0].scheme
+        problems = verify_shard_records(scheme, report.records, report.global_record)
+        ctx.shard_commits = ShardCommitReport(
+            records=report.records,
+            global_record=report.global_record,
+            problems=tuple(problems),
+        )
+
+    def finalize(self, ctx: EngineContext) -> None:
+        if ctx.shard_commits is not None:
+            ctx.bus.emit(
+                ShardMergeCompleted(
+                    num_shards=len(ctx.shard_commits.records),
+                    total_cast=sum(
+                        r.ballots_cast for r in ctx.shard_commits.records
+                    ),
+                    verified=ctx.shard_commits.ok,
+                )
+            )
+
+
 class AuditDriver(PhaseDriver):
     """Phase 5: an independent auditor verifies the whole election."""
 
@@ -357,8 +410,19 @@ class AuditDriver(PhaseDriver):
 
 
 def default_drivers() -> List[PhaseDriver]:
-    """The paper's phase sequence: setup, voting, consensus, tally, audit."""
-    return [SetupDriver(), VotingDriver(), ConsensusDriver(), TallyDriver(), AuditDriver()]
+    """The phase sequence: setup, voting, consensus, tally, merge, audit.
+
+    ``merge`` self-gates to sharded runs (``ShardingProfile.num_shards > 1``)
+    via ``should_run``, so the sequence is identical for every scenario.
+    """
+    return [
+        SetupDriver(),
+        VotingDriver(),
+        ConsensusDriver(),
+        TallyDriver(),
+        MergeDriver(),
+        AuditDriver(),
+    ]
 
 
 class ElectionEngine:
@@ -533,6 +597,7 @@ class ElectionEngine:
             voters=ctx.voters,
             tally=ctx.tally,
             audit_report=ctx.audit_report,
+            shard_commits=ctx.shard_commits,
             events=list(self.bus.history),
             phase_timings=dict(ctx.phase_timings),
             chaos_report=ctx.chaos.report() if ctx.chaos is not None else None,

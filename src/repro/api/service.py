@@ -33,6 +33,7 @@ from repro.api.spec import ScenarioSpec
 from repro.core.outcome import ElectionOutcome
 from repro.net.simulator import Network
 from repro.perf.parallel import ParallelConfig
+from repro.shard.driver import ShardedElectionDriver, ShardedElectionOutcome
 
 
 @dataclass
@@ -55,6 +56,27 @@ class ElectionReport:
     @property
     def phase_timings(self) -> Dict[str, float]:
         return self.outcome.phase_timings
+
+
+@dataclass
+class ShardedElectionReport:
+    """One scale-pipeline election's results (:meth:`MultiElectionService.run_sharded`)."""
+
+    name: str
+    spec: ScenarioSpec
+    outcome: "ShardedElectionOutcome"
+
+    @property
+    def tally(self) -> Dict[str, int]:
+        return self.outcome.tally.as_dict()
+
+    @property
+    def verified(self) -> bool:
+        return self.outcome.report.ok
+
+    @property
+    def ballots_per_s(self) -> float:
+        return self.outcome.ballots_per_s
 
 
 @dataclass
@@ -84,6 +106,7 @@ class MultiElectionService:
         #: (events carry their ``election_id`` for demultiplexing).
         self.event_log: List[ElectionEvent] = []
         self.reports: Dict[str, ElectionReport] = {}
+        self.sharded_reports: Dict[str, ShardedElectionReport] = {}
 
     # -- registration ------------------------------------------------------------
 
@@ -183,6 +206,36 @@ class MultiElectionService:
                 outcome=member.engine.outcome(),
             )
         return self.reports
+
+    def run_sharded(
+        self,
+        spec: ScenarioSpec,
+        *,
+        name: Optional[str] = None,
+        num_ballots: Optional[int] = None,
+        on_shard=None,
+    ) -> ShardedElectionReport:
+        """Run one election through the sharded scale pipeline, end to end.
+
+        This is the service entry point for electorates far beyond what the
+        full-crypto simulator can hold: ballots are derived from the spec's
+        seed, each ballot-range shard runs its own collectors and superblock
+        Vote Set Consensus with O(shard) state, and the cross-shard commit
+        layer verifies and combines the per-shard tallies homomorphically.
+        ``num_ballots`` overrides the spec's electorate (``registered_ballots``
+        falling back to ``num_voters``); shards run sequentially, so peak
+        memory follows the shard size, not the electorate.
+        """
+        name = name or spec.election_id
+        if name in self.sharded_reports:
+            raise ValueError(f"a sharded election named {name!r} already ran")
+        if spec.election_id != name:
+            spec = spec.derive(election_id=name)
+        driver = ShardedElectionDriver(spec, num_ballots=num_ballots, on_shard=on_shard)
+        outcome = driver.run()
+        report = ShardedElectionReport(name=name, spec=spec, outcome=outcome)
+        self.sharded_reports[name] = report
+        return report
 
     # -- shared scheduler --------------------------------------------------------
 

@@ -14,7 +14,11 @@ the five orthogonal concerns that used to sprawl across
 * :class:`CryptoProfile`   -- group backend and proof generation;
 * :class:`TransportProfile` -- how message bytes travel (in-memory reference
   passing, canonical wire encoding with byte accounting, or real TCP
-  loopback sockets).
+  loopback sockets);
+* :class:`ShardingProfile` -- ballot-range sharding of the pipeline: how many
+  contiguous serial-range shards the electorate splits into, and how each
+  shard's election slice is sized in the scale pipeline
+  (:class:`repro.shard.ShardedElectionDriver`).
 
 Specs validate eagerly, round-trip through plain dicts (``to_dict`` /
 ``from_dict``), and ship with named presets (``paper_baseline``,
@@ -722,6 +726,66 @@ class CryptoProfile:
 
 
 @dataclass(frozen=True)
+class ShardingProfile:
+    """Ballot-range sharding of the election pipeline.
+
+    ``num_shards`` splits the ballot-serial space into that many contiguous
+    ranges (a :class:`repro.shard.ShardPlan`).  With ``num_shards == 1`` the
+    pipeline is the classic unsharded run.  Sharding never changes the
+    outcome: superblock partitions simply stop crossing shard boundaries and
+    the tally commitment is combined shard-product by shard-product, both of
+    which are exact regroupings of the same group products.
+
+    The ``scale_*`` knobs size each shard's election slice in the scale
+    pipeline (``MultiElectionService.run_sharded``): collectors per shard,
+    Vote Set Consensus superblock size, and the deterministic turnout
+    fraction of the derived electorate.
+    """
+
+    num_shards: int = 1
+    scale_collectors: int = 4
+    scale_batch_size: int = 1024
+    scale_turnout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.scale_collectors < 1:
+            raise ValueError("each shard needs at least one collector")
+        if self.scale_batch_size < 1:
+            raise ValueError("scale_batch_size must be at least 1")
+        if not 0.0 < self.scale_turnout <= 1.0:
+            raise ValueError("scale_turnout must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_shards > 1
+
+    def plan(self, num_serials: int):
+        """The shard plan over serials ``[0, num_serials)``."""
+        from repro.shard.partition import ShardPlan
+
+        return ShardPlan.split(0, num_serials, self.num_shards)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "num_shards": self.num_shards,
+            "scale_collectors": self.scale_collectors,
+            "scale_batch_size": self.scale_batch_size,
+            "scale_turnout": self.scale_turnout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardingProfile":
+        return cls(
+            num_shards=int(data.get("num_shards", 1)),
+            scale_collectors=int(data.get("scale_collectors", 4)),
+            scale_batch_size=int(data.get("scale_batch_size", 1024)),
+            scale_turnout=float(data.get("scale_turnout", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, validated election scenario."""
 
@@ -752,6 +816,7 @@ class ScenarioSpec:
     crypto: CryptoProfile = field(default_factory=CryptoProfile)
     transport: TransportProfile = field(default_factory=TransportProfile)
     faults: FaultPlan = field(default_factory=FaultPlan)
+    sharding: ShardingProfile = field(default_factory=ShardingProfile)
 
     def __post_init__(self) -> None:
         if not isinstance(self.options, tuple):
@@ -876,6 +941,7 @@ class ScenarioSpec:
             batch_audit=self.audit.batch,
             audit_workers=self.audit.workers,
             batch_security_bits=self.audit.security_bits,
+            num_shards=self.sharding.num_shards,
         )
 
     @classmethod
@@ -915,6 +981,7 @@ class ScenarioSpec:
             network=network or NetworkProfile.lan(),
             adversary=adversary or AdversaryProfile(),
             crypto=crypto or CryptoProfile(),
+            sharding=ShardingProfile(num_shards=params.num_shards),
         )
 
     def derive(self, **changes: Any) -> "ScenarioSpec":
@@ -947,6 +1014,7 @@ class ScenarioSpec:
             "crypto": self.crypto.to_dict(),
             "transport": self.transport.to_dict(),
             "faults": self.faults.to_dict(),
+            "sharding": self.sharding.to_dict(),
         }
 
     @classmethod
@@ -975,6 +1043,7 @@ class ScenarioSpec:
             crypto=CryptoProfile.from_dict(data.get("crypto", {})),
             transport=TransportProfile.from_dict(data.get("transport", {})),
             faults=FaultPlan.from_dict(data.get("faults", {})),
+            sharding=ShardingProfile.from_dict(data.get("sharding", {})),
         )
 
     # -- capacity-planning runners ----------------------------------------------
@@ -1090,7 +1159,10 @@ def national_scale() -> ScenarioSpec:
     The registered electorate matches the 2012 US voting population; the
     full-crypto engine runs a scaled-down rehearsal (``num_voters``) while
     :meth:`ScenarioSpec.cost_model` sizes the real deployment
-    (PostgreSQL-backed, Figure 5a shape).
+    (PostgreSQL-backed, Figure 5a shape).  The pipeline runs sharded — four
+    ballot-range shards — which changes memory behaviour only: the rehearsal
+    outcome hash is identical to the unsharded run (the determinism harness
+    checks exactly that).
     """
     return ScenarioSpec(
         options=("yes", "no"),
@@ -1103,6 +1175,7 @@ def national_scale() -> ScenarioSpec:
         election_end=500.0,
         registered_ballots=235_000_000,
         storage="postgres",
+        sharding=ShardingProfile(num_shards=4),
     )
 
 

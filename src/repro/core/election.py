@@ -96,6 +96,11 @@ class ElectionParameters:
     #: Bit width of the random batching exponents; the probability that a
     #: forged proof survives one batched equation is 2^-batch_security_bits.
     batch_security_bits: int = 64
+    #: Ballot-range shards: 1 is the classic unsharded pipeline; S > 1 keeps
+    #: superblock partitions inside contiguous serial-range shards and makes
+    #: the BB combine the tally shard-product by shard-product, publishing a
+    #: two-phase shard-commit record (the outcome is unchanged either way).
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if len(self.options) < 2:
@@ -110,6 +115,8 @@ class ElectionParameters:
             raise ValueError("election must end after it starts")
         if self.consensus_batch_size < 1:
             raise ValueError("consensus batch size must be at least 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         validate_audit_flags(self.audit_workers, self.batch_security_bits)
         self.thresholds.validate()
         # O(1) label lookups for the hot option_index path (frozen dataclass,

@@ -185,7 +185,21 @@ class VoteCollectorNode(SimNode):
         self._sb_buffer: Dict[str, List[Tuple[str, ConsensusMessage]]] = {}
         self._batcher: Optional[ConsensusBatcher] = None
         if self.batch_size > 1:
-            for index, block in enumerate(partition_serials(init.ballots, self.batch_size)):
+            # With sharding, blocks never cross shard boundaries: each shard's
+            # Vote Set Consensus instances stay independent, which is what
+            # lets the BB combine the tally shard by shard.  The sharded
+            # partition of an identical ballot set is itself identical, so no
+            # coordination is needed here either.
+            if params.num_shards > 1:
+                # Imported lazily: repro.shard depends on core modules.
+                from repro.shard.partition import sharded_partition
+
+                blocks = sharded_partition(
+                    init.ballots, params.num_shards, self.batch_size
+                )
+            else:
+                blocks = partition_serials(init.ballots, self.batch_size)
+            for index, block in enumerate(blocks):
                 block_id = superblock_id(index)
                 self._block_serials[block_id] = block
                 self._sb_pending_announces[block_id] = set(block)

@@ -710,6 +710,83 @@ def _install_default_types(codec: MessageCodec) -> None:
 
     reg(0x26, BatchEnvelope, enc_batch_envelope, dec_batch_envelope)
 
+    # -- homomorphic-tally payloads (0x44..) and shard commits (0x60..) ------
+    # Imported here, not at module load: repro.shard pulls this module in, so
+    # a top-level import would be circular.  Registration runs per codec
+    # instance, long after both modules are fully initialized.
+
+    from repro.crypto.commitments import OptionCommitment
+    from repro.crypto.elgamal import ElGamalCiphertext
+    from repro.shard.records import GlobalCommitRecord, ShardCommitRecord
+
+    def enc_ciphertext(c: MessageCodec, ct: ElGamalCiphertext, out: bytearray) -> None:
+        _w_vbytes(out, ct.a.serialize())
+        _w_vbytes(out, ct.b.serialize())
+
+    def dec_ciphertext(c: MessageCodec, r: _Reader) -> ElGamalCiphertext:
+        return ElGamalCiphertext(
+            c.element_from_bytes(r.vbytes()), c.element_from_bytes(r.vbytes())
+        )
+
+    reg(0x44, ElGamalCiphertext, enc_ciphertext, dec_ciphertext)
+
+    def enc_commitment(c: MessageCodec, m: OptionCommitment, out: bytearray) -> None:
+        _w_u32(out, len(m.ciphertexts))
+        for ciphertext in m.ciphertexts:
+            c.encode_embedded(ciphertext, out)
+
+    def dec_commitment(c: MessageCodec, r: _Reader) -> OptionCommitment:
+        count = r.u32()
+        return OptionCommitment(
+            tuple(c.decode_embedded(r, ElGamalCiphertext) for _ in range(count))
+        )
+
+    reg(0x45, OptionCommitment, enc_commitment, dec_commitment)
+
+    def enc_shard_commit(c: MessageCodec, m: ShardCommitRecord, out: bytearray) -> None:
+        _w_vint(out, m.shard_id)
+        _w_vint(out, m.serial_lo)
+        _w_vint(out, m.serial_hi)
+        _w_vint(out, m.ballots_registered)
+        _w_vint(out, m.ballots_cast)
+        c.encode_embedded(m.commitment, out)
+        _w_vbytes(out, m.vote_set_digest)
+        _w_vstr(out, m.sender)
+
+    def dec_shard_commit(c: MessageCodec, r: _Reader) -> ShardCommitRecord:
+        return ShardCommitRecord(
+            r.vint(),
+            r.vint(),
+            r.vint(),
+            r.vint(),
+            r.vint(),
+            c.decode_embedded(r, OptionCommitment),
+            r.vbytes(),
+            r.vstr(),
+        )
+
+    reg(0x60, ShardCommitRecord, enc_shard_commit, dec_shard_commit)
+
+    def enc_global_commit(c: MessageCodec, m: GlobalCommitRecord, out: bytearray) -> None:
+        _w_vstr(out, m.election_id)
+        _w_vint(out, m.num_shards)
+        _w_vint(out, m.total_cast)
+        c.encode_embedded(m.combined, out)
+        _w_u32(out, len(m.shard_digests))
+        for digest in m.shard_digests:
+            _w_vbytes(out, digest)
+
+    def dec_global_commit(c: MessageCodec, r: _Reader) -> GlobalCommitRecord:
+        election_id = r.vstr()
+        num_shards = r.vint()
+        total_cast = r.vint()
+        combined = c.decode_embedded(r, OptionCommitment)
+        count = r.u32()
+        digests = tuple(r.vbytes() for _ in range(count))
+        return GlobalCommitRecord(election_id, num_shards, total_cast, combined, digests)
+
+    reg(0x61, GlobalCommitRecord, enc_global_commit, dec_global_commit)
+
 
 _DEFAULT_CODEC: Optional[MessageCodec] = None
 

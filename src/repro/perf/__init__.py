@@ -33,6 +33,7 @@ from repro.perf.costmodel import (
     NetworkProfile,
 )
 from repro.perf.loadsim import LoadResult, VoteCollectionLoadSimulator
+from repro.perf.memory import MemorySample, MemoryTracker, current_rss_bytes
 from repro.perf.parallel import ParallelConfig, parallel_map, parallel_reduce
 from repro.perf.phases import PhaseDurations, PhaseRecorder, phase_breakdown
 
@@ -47,6 +48,9 @@ __all__ = [
     "CostModel",
     "LoadResult",
     "VoteCollectionLoadSimulator",
+    "MemorySample",
+    "MemoryTracker",
+    "current_rss_bytes",
     "ParallelConfig",
     "parallel_map",
     "parallel_reduce",

@@ -1,0 +1,156 @@
+"""Drive a full sharded election: plan, per-shard slices, cross-shard merge.
+
+``ShardedElectionDriver`` is the scale pipeline behind
+``MultiElectionService.run_sharded``: it derives the shard plan from the
+scenario's electorate, runs one :class:`ShardRunner` per range *sequentially*
+(so at most one shard's working set is alive at a time — that is the O(shard)
+memory claim), streams each shard's commitment into the cross-shard commit,
+and finishes with the two-phase commit, an independent re-verification of the
+published records, and the opened global tally.
+
+The driver deliberately depends only on duck-typed spec fields (``options``,
+``electorate``, ``election_id``, ``seed``, ``crypto``, ``sharding``), not on
+``repro.api`` — the api layer sits on top of this module, not under it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.tally import TallyResult
+from repro.crypto.commitments import OptionEncodingScheme
+from repro.crypto.utils import int_to_bytes
+from repro.net.codec import MessageCodec, default_codec
+from repro.shard.merge import CrossShardCommit, ShardCommitReport, verify_shard_records
+from repro.shard.partition import ShardPlan
+from repro.shard.records import GlobalCommitRecord
+from repro.shard.shard_runner import ShardRunner, ShardSliceResult
+
+
+@dataclass
+class ShardedElectionOutcome:
+    """Result of one sharded end-to-end run."""
+
+    election_id: str
+    options: Tuple[str, ...]
+    num_ballots: int
+    num_shards: int
+    tally: TallyResult
+    global_record: GlobalCommitRecord
+    report: ShardCommitReport
+    shard_stats: List[dict] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ballots_per_s(self) -> float:
+        return self.num_ballots / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(stat["messages_sent"] for stat in self.shard_stats)
+
+    def as_dict(self) -> dict:
+        return {
+            "election_id": self.election_id,
+            "num_ballots": self.num_ballots,
+            "num_shards": self.num_shards,
+            "tally": self.tally.as_dict(),
+            "total_cast": self.global_record.total_cast,
+            "verified": self.report.ok,
+            "messages_sent": self.messages_sent,
+            "duration_s": self.duration_s,
+            "ballots_per_s": self.ballots_per_s,
+        }
+
+
+class ShardedElectionDriver:
+    """Run an election of any size through the sharded pipeline."""
+
+    def __init__(
+        self,
+        spec,
+        num_ballots: Optional[int] = None,
+        codec: Optional[MessageCodec] = None,
+        on_shard: Optional[Callable[[ShardSliceResult], None]] = None,
+    ):
+        self.spec = spec
+        self.num_ballots = int(num_ballots if num_ballots is not None else spec.electorate)
+        if self.num_ballots < 1:
+            raise ValueError("a sharded election needs at least one ballot")
+        self.codec = codec or default_codec()
+        self.on_shard = on_shard
+        self.sharding = spec.sharding
+        self.plan = ShardPlan.split(0, self.num_ballots, self.sharding.num_shards)
+
+    def build_scheme(self) -> OptionEncodingScheme:
+        """The commitment scheme every shard (and the merge) works under.
+
+        The public key is derived from the election seed; its secret is never
+        used — openings travel as explicit (values, randomness) pairs, exactly
+        like the full simulator's trustee path.
+        """
+        group = self.spec.crypto.build_group()
+        public_key = group.power_g(
+            group.hash_to_scalar(b"shard-pk", int_to_bytes(self.spec.seed))
+        )
+        return OptionEncodingScheme(len(self.spec.options), public_key, group)
+
+    def run(self) -> ShardedElectionOutcome:
+        started = time.perf_counter()
+        scheme = self.build_scheme()
+        merge = CrossShardCommit(scheme, codec=self.codec)
+        shard_stats: List[dict] = []
+        for shard in self.plan.ranges:
+            runner = ShardRunner(
+                shard,
+                scheme=scheme,
+                seed=self.spec.seed,
+                election_id=self.spec.election_id,
+                num_collectors=self.sharding.scale_collectors,
+                consensus_batch_size=self.sharding.scale_batch_size,
+                turnout=self.sharding.scale_turnout,
+                codec=self.codec,
+            )
+            result = runner.run()
+            merge.prepare(result.record, result.opening)
+            shard_stats.append(
+                {
+                    "shard_id": result.shard_id,
+                    "ballots_registered": result.record.ballots_registered,
+                    "ballots_cast": result.ballots_cast,
+                    "messages_sent": result.messages_sent,
+                    "superblocks_fast": result.superblocks_fast,
+                    "superblocks_fallback": result.superblocks_fallback,
+                    "duration_s": result.duration_s,
+                }
+            )
+            if self.on_shard is not None:
+                self.on_shard(result)
+            # The runner (opinion/decision dicts included) dies here; only the
+            # O(num_options) record + opening survive into the merge.
+            del runner, result
+
+        global_record = merge.commit(self.spec.election_id)
+        records = tuple(merge.records_in_order())
+        problems = tuple(
+            verify_shard_records(scheme, records, global_record, self.codec)
+        )
+        tally = merge.open_merged_tally(self.spec.options)
+        report = ShardCommitReport(records, global_record, problems)
+        if not report.ok:
+            raise RuntimeError(
+                f"cross-shard commit failed verification: {list(problems)}"
+            )
+        return ShardedElectionOutcome(
+            election_id=self.spec.election_id,
+            options=tuple(self.spec.options),
+            num_ballots=self.num_ballots,
+            num_shards=self.plan.num_shards,
+            tally=tally,
+            global_record=global_record,
+            report=report,
+            shard_stats=shard_stats,
+            duration_s=time.perf_counter() - started,
+        )

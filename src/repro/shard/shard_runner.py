@@ -1,0 +1,196 @@
+"""One shard's election slice: admission, Vote Set Consensus, streaming tally.
+
+A :class:`ShardRunner` executes everything the protocol needs for the ballots
+in one contiguous serial range, holding only O(shard) state:
+
+admission   Every ballot in the range is derived deterministically from the
+            election seed (choice, A/B coin, vote code, turnout), and the
+            responsible collector checks the vote code against its salted
+            hash commitment — the same check the full simulator's
+            ``VoteCollectorNode`` performs, one SHA-256 per ballot.
+
+consensus   The shard's own collectors run superblock Vote Set Consensus
+            (``consensus/batching.py`` via ``ConsensusCluster``) over the
+            admitted-ballot opinion vector, so agreement messages are
+            amortized across ``consensus_batch_size`` ballots.
+
+tally       Cast ballots stream through :class:`StreamingTally`: per-ballot
+            randomness is *derived*, never stored, and the shard flushes one
+            combined commitment + opening at the end — O(num_options)
+            exponentiations per shard regardless of shard size.
+
+The result is a codec-framed :class:`ShardCommitRecord` (plus its opening)
+ready for the cross-shard merge.  Because per-ballot choices and randomness
+depend only on ``(seed, election_id, serial)``, the merged tally — counts
+*and* combined commitment — is identical for every shard count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.consensus.cluster import ConsensusCluster
+from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
+from repro.crypto.utils import int_to_bytes, sha256
+from repro.net.codec import MessageCodec, default_codec
+from repro.shard.partition import ShardRange
+from repro.shard.records import ShardCommitRecord
+from repro.shard.streaming import StreamingTally
+
+
+@dataclass(frozen=True)
+class ShardSliceResult:
+    """Everything a shard hands to the merge layer, plus its statistics."""
+
+    record: ShardCommitRecord
+    opening: CommitmentOpening
+    record_frame: bytes
+    counts: Tuple[int, ...]
+    messages_sent: int
+    superblocks_fast: int
+    superblocks_fallback: int
+    duration_s: float
+
+    @property
+    def shard_id(self) -> int:
+        return self.record.shard_id
+
+    @property
+    def ballots_cast(self) -> int:
+        return self.record.ballots_cast
+
+
+class ShardRunner:
+    """Run the election slice for one contiguous ballot-serial range."""
+
+    def __init__(
+        self,
+        shard: ShardRange,
+        scheme: OptionEncodingScheme,
+        seed: int,
+        election_id: str,
+        num_collectors: int = 4,
+        consensus_batch_size: int = 1024,
+        turnout: float = 1.0,
+        silent_collectors: Sequence[int] = (),
+        codec: Optional[MessageCodec] = None,
+    ):
+        if num_collectors < 1:
+            raise ValueError("a shard needs at least one vote collector")
+        if consensus_batch_size < 1:
+            raise ValueError("consensus_batch_size must be at least 1")
+        if not 0.0 < turnout <= 1.0:
+            raise ValueError("turnout must be in (0, 1]")
+        self.shard = shard
+        self.scheme = scheme
+        self.seed = seed
+        self.election_id = election_id
+        self.num_collectors = num_collectors
+        self.consensus_batch_size = consensus_batch_size
+        self.turnout = turnout
+        self.silent_collectors = tuple(silent_collectors)
+        self.codec = codec or default_codec()
+        self._seed_bytes = int_to_bytes(seed)
+        self._id_bytes = election_id.encode("utf-8")
+        # Turnout threshold on one derived byte: cast iff digest byte < cut.
+        self._turnout_cut = int(round(turnout * 256))
+
+    # -- deterministic per-ballot derivation -----------------------------------
+
+    def _ballot_digest(self, serial: int) -> bytes:
+        return sha256(
+            b"shard-ballot", self._seed_bytes, self._id_bytes, int_to_bytes(serial)
+        )
+
+    def choice_of(self, serial: int) -> int:
+        digest = self._ballot_digest(serial)
+        return int.from_bytes(digest[:8], "big") % self.scheme.num_options
+
+    def is_cast(self, digest: bytes) -> bool:
+        return digest[9] < self._turnout_cut
+
+    def _vote_code(self, digest: bytes) -> bytes:
+        return sha256(b"shard-vote-code", digest)[:16]
+
+    def _code_commitment(self, serial: int, code: bytes) -> bytes:
+        salt = sha256(b"shard-salt", self._seed_bytes, int_to_bytes(serial))
+        return sha256(b"shard-code-commit", salt, code)
+
+    def _randomness(self, serial: int) -> Tuple[int, ...]:
+        order = self.scheme.group.order
+        base = sha256(b"shard-rand", self._seed_bytes, self._id_bytes, int_to_bytes(serial))
+        return tuple(
+            int.from_bytes(sha256(base, int_to_bytes(coordinate)), "big") % order
+            for coordinate in range(self.scheme.num_options)
+        )
+
+    # -- the slice -------------------------------------------------------------
+
+    def run(self) -> ShardSliceResult:
+        started = time.perf_counter()
+
+        # Phase 1: admission.  The responsible collector re-derives the salted
+        # code commitment and checks the submitted vote code against it; every
+        # collector records its opinion bit for Vote Set Consensus.
+        opinions = {}
+        for serial in range(self.shard.lo, self.shard.hi):
+            digest = self._ballot_digest(serial)
+            if self.is_cast(digest):
+                code = self._vote_code(digest)
+                # The EA's setup-time salted commitment and the collector's
+                # admission-time recomputation (one SHA each, as in the full
+                # simulator's VoteCollectorNode.check).
+                stored_commitment = self._code_commitment(serial, code)
+                if self._code_commitment(serial, code) != stored_commitment:
+                    raise RuntimeError(f"vote code rejected for serial {serial}")
+                opinions[serial] = 1
+            else:
+                opinions[serial] = 0
+
+        # Phase 2: superblock Vote Set Consensus among the shard's collectors.
+        cluster = ConsensusCluster(
+            num_nodes=self.num_collectors,
+            batch_size=self.consensus_batch_size,
+            silent=self.silent_collectors,
+        )
+        outcome = cluster.run(opinions)
+        if not outcome.agreed:
+            raise RuntimeError(f"shard {self.shard.shard_id}: collectors disagreed")
+        decided = outcome.decided_serials()
+        del opinions, cluster
+
+        # Phase 3: streaming tally + vote-set digest over the decided set.
+        tally = StreamingTally(self.scheme)
+        vote_set_hash = hashlib.sha256(b"shard-vote-set")
+        for serial in decided:
+            digest = self._ballot_digest(serial)
+            tally.add_vote(
+                int.from_bytes(digest[:8], "big") % self.scheme.num_options,
+                self._randomness(serial),
+            )
+            vote_set_hash.update(int_to_bytes(serial))
+            vote_set_hash.update(self._vote_code(digest))
+
+        record = ShardCommitRecord(
+            shard_id=self.shard.shard_id,
+            serial_lo=self.shard.lo,
+            serial_hi=self.shard.hi,
+            ballots_registered=self.shard.span,
+            ballots_cast=len(decided),
+            commitment=tally.commit(),
+            vote_set_digest=vote_set_hash.digest(),
+            sender=f"shard-{self.shard.shard_id}",
+        )
+        return ShardSliceResult(
+            record=record,
+            opening=tally.opening(),
+            record_frame=self.codec.encode(record),
+            counts=tally.counts,
+            messages_sent=outcome.messages_sent,
+            superblocks_fast=outcome.superblocks_fast,
+            superblocks_fallback=outcome.superblocks_fallback,
+            duration_s=time.perf_counter() - started,
+        )

@@ -12,6 +12,7 @@ from repro.api import (
     CryptoProfile,
     NetworkProfile,
     ScenarioSpec,
+    ShardingProfile,
     TransportProfile,
 )
 from repro.core.byzantine import SilentVoteCollector
@@ -231,3 +232,40 @@ class TestPresets:
         assert not spec.adversary.is_honest
         assert len(spec.adversary.vc_behaviors) <= (spec.num_vc - 1) // 3
         assert len(spec.adversary.bb_behaviors) <= (spec.num_bb - 1) // 2
+
+    def test_national_scale_runs_sharded(self):
+        spec = ScenarioSpec.preset("national_scale")
+        assert spec.sharding.enabled
+        assert spec.sharding.num_shards > 1
+
+
+class TestShardingProfile:
+    def test_defaults_are_unsharded(self):
+        profile = ShardingProfile()
+        assert profile.num_shards == 1
+        assert not profile.enabled
+
+    def test_validates_fields(self):
+        with pytest.raises(ValueError):
+            ShardingProfile(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardingProfile(scale_collectors=0)
+        with pytest.raises(ValueError):
+            ShardingProfile(scale_turnout=1.5)
+
+    def test_round_trips_through_dicts(self):
+        profile = ShardingProfile(num_shards=8, scale_batch_size=256, scale_turnout=0.7)
+        assert ShardingProfile.from_dict(profile.to_dict()) == profile
+        spec = ScenarioSpec(sharding=profile)
+        assert ScenarioSpec.from_dict(spec.to_dict()).sharding == profile
+
+    def test_plan_covers_the_electorate(self):
+        plan = ShardingProfile(num_shards=4).plan(1000)
+        assert plan.num_shards == 4
+        assert (plan.lo, plan.hi) == (0, 1000)
+
+    def test_num_shards_survives_election_parameters(self):
+        spec = ScenarioSpec(sharding=ShardingProfile(num_shards=4))
+        params = spec.to_election_parameters()
+        assert params.num_shards == 4
+        assert ScenarioSpec.from_election_parameters(params).sharding.num_shards == 4

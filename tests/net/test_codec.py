@@ -27,8 +27,10 @@ from repro.core.messages import (
     VscBatch,
     VscEnvelope,
 )
+from repro.crypto.commitments import OptionEncodingScheme
 from repro.crypto.registry import get_group
 from repro.crypto.pedersen_vss import PedersenShare
+from repro.shard.records import GlobalCommitRecord, ShardCommitRecord
 from repro.crypto.shamir import Share, SignedShare, SigningDealer
 from repro.crypto.signatures import SchnorrSignature, SignatureScheme
 from repro.crypto.utils import RandomSource
@@ -61,6 +63,19 @@ def sample_messages(signature):
     endorsement = Endorsement(7, b"code-bytes", "VC-1", signature)
     ucert = UniquenessCertificate(7, b"code-bytes", (endorsement,))
     signed_share = SignedShare(Share(2, (1 << 200) + 17), b"receipt|7|A|0", signature)
+    group = get_group("secp256k1")
+    scheme = OptionEncodingScheme(2, group.power_g(5), group)
+    commitment, _ = scheme.commit_option(1, RandomSource(9))
+    shard_record = ShardCommitRecord(
+        shard_id=0,
+        serial_lo=0,
+        serial_hi=100,
+        ballots_registered=100,
+        ballots_cast=73,
+        commitment=commitment,
+        vote_set_digest=b"\x11" * 32,
+        sender="shard-0",
+    )
     return [
         VoteRequest(7, b"code-bytes", "V-0"),
         VoteReceipt(7, b"code-bytes", b"\x00" * 8),
@@ -102,6 +117,16 @@ def sample_messages(signature):
         Share(1, 42),
         SignedShare(Share(1, 42), b"ctx", signature),
         PedersenShare(3, 11, 29),
+        commitment.ciphertexts[0],
+        commitment,
+        shard_record,
+        GlobalCommitRecord(
+            election_id="codec-test",
+            num_shards=1,
+            total_cast=73,
+            combined=commitment,
+            shard_digests=(b"\x22" * 32,),
+        ),
     ]
 
 

@@ -1,0 +1,83 @@
+"""Full-fidelity engine path with sharding: bit-identical outcomes.
+
+The acceptance bar for the sharded pipeline is that sharding changes memory
+behaviour, never the election: the sharded tally and audit must match the
+unsharded run bit-for-bit.  These tests run the ``national_scale`` preset
+(which ships with ``num_shards=4``) against an unsharded derivation of the
+same spec and compare the canonical outcome hashes, on every registered
+crypto backend.
+"""
+
+import pytest
+
+from repro.analysis.determinism import default_choices, outcome_hash, run_once
+from repro.api import CryptoProfile, ElectionEngine, ScenarioSpec, ShardingProfile
+from repro.api.events import ShardMergeCompleted
+from repro.crypto.registry import available_backends
+
+PRESET = "national_scale"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ScenarioSpec.preset(PRESET, seed=5)
+
+
+@pytest.fixture(scope="module")
+def sharded_outcome(spec):
+    return ElectionEngine(spec).run(default_choices(spec))
+
+
+class TestShardedEngineRun:
+    def test_preset_actually_shards(self, spec):
+        assert spec.sharding.num_shards > 1
+        assert spec.to_election_parameters().num_shards == spec.sharding.num_shards
+
+    def test_outcome_hash_matches_unsharded(self, spec, sharded_outcome):
+        unsharded = spec.derive(sharding=ShardingProfile(num_shards=1))
+        _, unsharded_hash = run_once(unsharded)
+        assert outcome_hash(sharded_outcome) == unsharded_hash
+
+    def test_shard_commits_published_and_verified(self, spec, sharded_outcome):
+        report = sharded_outcome.shard_commits
+        assert report is not None and report.ok
+        assert len(report.records) == spec.sharding.num_shards
+        assert report.global_record.total_cast == sum(
+            r.ballots_cast for r in report.records
+        )
+        # Registered ballots tile across the shards with no loss.
+        registered = sum(r.ballots_registered for r in report.records)
+        assert registered == spec.num_voters
+
+    def test_merge_phase_emits_event_and_timing(self, spec, sharded_outcome):
+        merges = [
+            e for e in sharded_outcome.events if isinstance(e, ShardMergeCompleted)
+        ]
+        assert len(merges) == 1
+        assert merges[0].verified
+        assert merges[0].num_shards == spec.sharding.num_shards
+        assert "merge" in sharded_outcome.phase_timings
+
+    def test_unsharded_run_skips_the_merge_phase(self, spec):
+        unsharded = spec.derive(sharding=ShardingProfile(num_shards=1))
+        outcome = ElectionEngine(unsharded).run(default_choices(unsharded))
+        assert outcome.shard_commits is None
+        assert not any(
+            isinstance(e, ShardMergeCompleted) for e in outcome.events
+        )
+        assert "merge" not in outcome.phase_timings
+
+    def test_audit_passes_on_the_sharded_run(self, sharded_outcome):
+        assert sharded_outcome.audit_report is not None
+        assert sharded_outcome.audit_report.passed
+
+
+class TestEveryBackend:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_sharded_equals_unsharded_on(self, backend):
+        spec = ScenarioSpec.preset(PRESET, seed=5).derive(
+            crypto=CryptoProfile(backend=backend)
+        )
+        _, sharded_hash = run_once(spec)
+        _, flat_hash = run_once(spec.derive(sharding=ShardingProfile(num_shards=1)))
+        assert sharded_hash == flat_hash

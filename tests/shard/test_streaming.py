@@ -1,0 +1,110 @@
+"""Streaming combiners: incremental folding equals all-at-once combination."""
+
+import pytest
+
+from repro.core.tally import combine_tally_commitments, open_tally
+from repro.crypto.commitments import OptionCommitment, OptionEncodingScheme
+from repro.crypto.utils import RandomSource
+from repro.shard.streaming import (
+    StreamingCommitmentCombiner,
+    StreamingOpeningCombiner,
+    StreamingTally,
+)
+
+NUM_OPTIONS = 3
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return OptionEncodingScheme(NUM_OPTIONS, group.power_g(7), group)
+
+
+@pytest.fixture(scope="module")
+def ballots(scheme):
+    """Twelve committed ballots with a known option pattern."""
+    rng = RandomSource(42)
+    pattern = [0, 1, 2, 1, 1, 0, 2, 2, 2, 1, 0, 1]
+    return [scheme.commit_option(option, rng) for option in pattern]
+
+
+class TestStreamingCommitmentCombiner:
+    def test_matches_flat_combination(self, scheme, ballots):
+        combiner = StreamingCommitmentCombiner(scheme)
+        for commitment, _ in ballots:
+            combiner.add(commitment)
+        flat = combine_tally_commitments(scheme, [c for c, _ in ballots])
+        assert combiner.result() == flat
+        assert combiner.count == len(ballots)
+
+    def test_empty_is_the_homomorphic_identity(self, scheme, ballots):
+        identity = StreamingCommitmentCombiner(scheme).result()
+        single = ballots[0][0]
+        assert identity * single == single
+
+    def test_shard_products_fold_to_the_same_element(self, scheme, ballots):
+        """Folding shard-by-shard equals folding ballot-by-ballot."""
+        flat = combine_tally_commitments(scheme, [c for c, _ in ballots])
+        outer = StreamingCommitmentCombiner(scheme)
+        for start in (0, 5, 9):
+            inner = StreamingCommitmentCombiner(scheme)
+            for commitment, _ in ballots[start : start + (5 if start == 0 else 4)]:
+                inner.add(commitment)
+            outer.add(inner.result())
+        assert outer.result() == flat
+
+    def test_rejects_wrong_width(self, scheme, group):
+        other = OptionEncodingScheme(NUM_OPTIONS + 1, group.power_g(7), group)
+        commitment, _ = other.commit_option(0, RandomSource(1))
+        with pytest.raises(ValueError):
+            StreamingCommitmentCombiner(scheme).add(commitment)
+
+
+class TestStreamingOpeningCombiner:
+    def test_sums_values_and_randomness(self, scheme, ballots):
+        combiner = StreamingOpeningCombiner(scheme)
+        for _, opening in ballots:
+            combiner.add(opening)
+        total = combiner.result()
+        assert list(total.values) == [3, 5, 4]
+        # The summed opening must open the combined commitment.
+        flat = combine_tally_commitments(scheme, [c for c, _ in ballots])
+        result = open_tally(scheme, flat, total, ("a", "b", "c"))
+        assert result.as_dict() == {"a": 3, "b": 5, "c": 4}
+
+
+class TestStreamingTally:
+    def test_single_flush_equals_per_ballot_product(self, scheme):
+        """Enc(pk, Σv, Σr) must equal the product of per-ballot commitments."""
+        rng = RandomSource(7)
+        order = scheme.group.order
+        tally = StreamingTally(scheme)
+        flat = StreamingCommitmentCombiner(scheme)
+        for option in [2, 0, 1, 1, 2, 2, 0]:
+            randomness = tuple(scheme.group.random_scalar(rng) for _ in range(NUM_OPTIONS))
+            tally.add_vote(option, randomness)
+            vector = scheme.unit_vector(option)
+            ciphertexts = tuple(
+                scheme.elgamal.encrypt(scheme.public_key, v, randomness=r)
+                for v, r in zip(vector, randomness, strict=True)
+            )
+            flat.add(OptionCommitment(ciphertexts))
+        assert tally.counts == (2, 2, 3)
+        assert tally.commit() == flat.result()
+
+    def test_opening_opens_the_commitment(self, scheme):
+        rng = RandomSource(8)
+        tally = StreamingTally(scheme)
+        for option in [0, 0, 1]:
+            tally.add_vote(
+                option,
+                tuple(scheme.group.random_scalar(rng) for _ in range(NUM_OPTIONS)),
+            )
+        result = open_tally(scheme, tally.commit(), tally.opening(), ("x", "y", "z"))
+        assert result.as_dict() == {"x": 2, "y": 1, "z": 0}
+
+    def test_rejects_bad_inputs(self, scheme):
+        tally = StreamingTally(scheme)
+        with pytest.raises(ValueError):
+            tally.add_vote(NUM_OPTIONS, (1, 2, 3))
+        with pytest.raises(ValueError):
+            tally.add_vote(0, (1, 2))
