@@ -1,0 +1,202 @@
+"""Voting-phase admission pipeline: batched endorsements under realistic load.
+
+Three experiments behind the high-throughput admission pipeline:
+
+* **verification gate** -- verify 10,000 ENDORSEMENT signatures per-message
+  (warmed fixed-base tables, the strongest serial baseline) and with the
+  small-exponent batch verifier at the production batch size.  The
+  acceptance criterion is a >= 2x batched speedup, reported next to the
+  :class:`repro.perf.costmodel.AdmissionCosts` prediction;
+* **bit-identical gate** -- run the same small election with endorsement
+  batching on and off on *every* registered crypto backend and require
+  identical outcome hashes, identical tallies and passing audits.  Batching
+  may only change *when* an endorsement is verified, never the election's
+  observable results;
+* **open-loop sweep** -- drive the load simulator from seeded arrival
+  processes (Poisson, diurnal, flash crowd) over a grid of endorsement batch
+  sizes, recording sustained votes/s, p50/p95/p99 admission latency and the
+  shed rate under a bounded admission window.
+
+Set ``BENCH_SMOKE=1`` for the CI smoke mode (smaller payloads, same >= 2x
+verification gate).  Results land in
+``benchmarks/results/voting_throughput.json``; see ``benchmarks/README.md``
+for the field glossary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.determinism import outcome_hash
+from repro.api import AdmissionProfile, ElectionEngine, ScenarioSpec
+from repro.api.spec import CryptoProfile
+from repro.core.vote_collector import endorsement_message
+from repro.crypto.batch_verify import BatchVerifier, SignatureItem
+from repro.crypto.registry import available_backends
+from repro.crypto.signatures import SignatureScheme
+from repro.crypto.utils import RandomSource
+from repro.perf.arrivals import (
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+from repro.perf.costmodel import CostModel
+from repro.perf.loadsim import VoteCollectionLoadSimulator
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+#: endorsement verifications of the throughput gate (the PR's 10k criterion)
+NUM_VERIFICATIONS = 2_000 if SMOKE else 10_000
+#: production batch size the gate is measured at
+GATE_BATCH_SIZE = 64
+#: the acceptance criterion, enforced in smoke mode too
+TARGET_SPEEDUP = 2.0
+#: endorsement batch sizes of the open-loop sweep
+BATCH_SIZES = (1, 64) if SMOKE else (1, 16, 64, 128)
+#: open-loop traffic duration and per-VC admission window
+SWEEP_DURATION_S = 4.0 if SMOKE else 12.0
+ADMISSION_DEPTH = 8
+NUM_SIGNERS = 4
+CHOICES = ["option-1", "option-3", "option-1", "option-2", "option-1"]
+
+_rows: list = []
+
+
+def arrival_processes(rate_per_s: float):
+    """The sweep's traffic mixes, all seeded for reproducibility."""
+    return (
+        PoissonArrivals(rate_per_s=rate_per_s, seed=11),
+        DiurnalArrivals(mean_rate_per_s=rate_per_s, amplitude=0.7,
+                        period_s=SWEEP_DURATION_S, phase=0.0, seed=11),
+        FlashCrowdArrivals(base_rate_per_s=rate_per_s / 2.0, spike_factor=6.0,
+                           spike_start_s=SWEEP_DURATION_S / 4.0,
+                           spike_duration_s=SWEEP_DURATION_S / 4.0, seed=11),
+    )
+
+
+def make_endorsement_items(count: int):
+    """``count`` valid ENDORSEMENT signatures from ``NUM_SIGNERS`` VC keys."""
+    scheme = SignatureScheme()
+    rng = RandomSource(101)
+    keys = {f"VC-{i}": scheme.keygen(rng) for i in range(NUM_SIGNERS)}
+    for pair in keys.values():
+        # Per-signer fixed-base tables, exactly like VC node init.
+        pair.public.group.fixed_base(pair.public)
+    items = []
+    for i in range(count):
+        pair = keys[f"VC-{i % NUM_SIGNERS}"]
+        message = endorsement_message(i, bytes([i % 256]) * 20)
+        items.append(SignatureItem(pair.public, message, scheme.sign(pair, message, rng)))
+    return scheme, items
+
+
+class TestVerificationGate:
+    """Batched endorsement verification must beat per-message by >= 2x."""
+
+    def test_batched_verification_speedup(self):
+        scheme, items = make_endorsement_items(NUM_VERIFICATIONS)
+        group = items[0].public.group
+
+        start = time.perf_counter()
+        assert all(scheme.verify(it.public, it.message, it.signature) for it in items)
+        serial_s = time.perf_counter() - start
+
+        verifier = BatchVerifier(group, rng=RandomSource(7))
+        start = time.perf_counter()
+        bad = 0
+        for begin in range(0, len(items), GATE_BATCH_SIZE):
+            outcome = verifier.verify_signatures(items[begin:begin + GATE_BATCH_SIZE])
+            bad += len(outcome.bad_indices)
+        batched_s = time.perf_counter() - start
+
+        assert bad == 0
+        speedup = serial_s / batched_s
+        predicted = CostModel().endorse_batching_speedup(GATE_BATCH_SIZE)
+        _rows.append({
+            "section": "verify_gate",
+            "verifications": len(items),
+            "batch_size": GATE_BATCH_SIZE,
+            "serial_s": round(serial_s, 4),
+            "batched_s": round(batched_s, 4),
+            "serial_per_s": round(len(items) / serial_s, 1),
+            "batched_per_s": round(len(items) / batched_s, 1),
+            "speedup": round(speedup, 2),
+            "predicted_speedup": round(predicted, 2),
+        })
+        assert speedup >= TARGET_SPEEDUP, (
+            f"batched endorsement verification only {speedup:.2f}x over "
+            f"per-message at {len(items)} items (need >= {TARGET_SPEEDUP}x)"
+        )
+
+
+class TestBitIdenticalGate:
+    """Batching may not change any observable election result, on any backend."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_outcomes_identical_with_and_without_batching(self, backend):
+        def run(admission: AdmissionProfile):
+            spec = ScenarioSpec.preset(
+                "paper_baseline",
+                crypto=CryptoProfile(backend=backend),
+                admission=admission,
+            )
+            return ElectionEngine(spec).run(CHOICES)
+
+        plain = run(AdmissionProfile())
+        batched = run(AdmissionProfile.batched(8))
+
+        assert outcome_hash(plain) == outcome_hash(batched)
+        assert plain.tally.as_dict() == batched.tally.as_dict()
+        assert plain.audit_report.passed and batched.audit_report.passed
+        stats = batched.admission_stats
+        assert stats["endorsements_batch_verified"] > 0  # batching really ran
+        _rows.append({
+            "section": "bit_identical",
+            "backend": backend,
+            "outcome_hash": outcome_hash(batched)[:16],
+            "tally": str(batched.tally.as_dict()),
+            "audit_passed": batched.audit_report.passed,
+            "endorse_batches": stats["endorse_batches"],
+            "endorsements_batch_verified": stats["endorsements_batch_verified"],
+        })
+
+
+class TestOpenLoopSweep:
+    """Sustained votes/s and admission latency over batch size x traffic mix."""
+
+    def test_sweep(self):
+        for batch_size in BATCH_SIZES:
+            model = CostModel(endorse_batch_size=batch_size)
+            # Offer ~1.2x the predicted capacity so backpressure engages.
+            rate = 1.2 * model.saturated_throughput_estimate(4)
+            for process in arrival_processes(rate):
+                times = process.times(SWEEP_DURATION_S)
+                simulator = VoteCollectionLoadSimulator(4, 1, model, seed=3)
+                result = simulator.run_open_loop(
+                    times, admission_depth=ADMISSION_DEPTH, arrival_name=process.name
+                )
+                row = {"section": "open_loop", "batch_size": batch_size,
+                       "offered_rate_per_s": round(rate, 1),
+                       "predicted_votes_per_vc": round(
+                           model.sustained_votes_per_vc_estimate(4), 1)}
+                row.update(result.as_row())
+                _rows.append(row)
+
+        sweep = [r for r in _rows if r["section"] == "open_loop"]
+        assert len(sweep) == len(BATCH_SIZES) * 3
+        # Larger endorsement batches must sustain more votes per second
+        # under the same (capacity-relative) Poisson overload.
+        poisson = {r["batch_size"]: r for r in sweep if r["arrival_process"] == "poisson"}
+        assert poisson[max(BATCH_SIZES)]["throughput_ops"] > poisson[1]["throughput_ops"]
+
+
+def test_save_results(results_sink):
+    save_results, print_table = results_sink
+    assert _rows, "gate and sweep tests must run before the results are saved"
+    save_results("voting_throughput", _rows)
+    for section in ("verify_gate", "bit_identical", "open_loop"):
+        rows = [r for r in _rows if r["section"] == section]
+        if rows:
+            print_table(f"voting throughput: {section}", rows)

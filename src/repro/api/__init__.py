@@ -45,6 +45,7 @@ from repro.api.service import (
 )
 from repro.api.spec import (
     PRESETS,
+    AdmissionProfile,
     AdversaryProfile,
     AuditConfig,
     ClockSkew,
@@ -62,6 +63,7 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "AdmissionProfile",
     "AdversaryProfile",
     "AuditConfig",
     "AuditCompleted",

@@ -7,6 +7,9 @@ the five orthogonal concerns that used to sprawl across
 
 * :class:`ConsensusConfig` -- Vote Set Consensus batching;
 * :class:`AuditConfig`     -- end-of-election audit strategy and parallelism;
+* :class:`AdmissionProfile` -- the voting-phase admission pipeline: batched
+  endorsement verification and the bounded admission queue in front of the
+  VOTE handler (shed-with-retry-hint vs. block);
 * :class:`NetworkProfile`  -- simulator latency/loss *and* the calibrated
   cost-model latencies, kept coherent in one place;
 * :class:`AdversaryProfile` -- which nodes misbehave and how (by name, so the
@@ -45,6 +48,7 @@ from repro.core.byzantine import (
     UcertWithholdingVoteCollector,
     WithholdingBulletinBoard,
 )
+from repro.core.admission import validate_admission_flags
 from repro.core.ea import bb_node_id, trustee_id, vc_node_id, voter_id
 from repro.core.election import ElectionParameters, FaultThresholds, validate_audit_flags
 from repro.core.trustee import Trustee
@@ -145,6 +149,67 @@ class AuditConfig:
             batch=bool(data.get("batch", True)),
             workers=None if workers is None else int(workers),
             security_bits=int(data.get("security_bits", 64)),
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionProfile:
+    """Voting-phase admission pipeline configuration (see :mod:`repro.core.admission`).
+
+    ``endorse_batch_size=1`` verifies every incoming ENDORSEMENT signature
+    one at a time (the paper's path); larger values verify up to that many
+    signatures per small-exponent aggregate equation, flushing partial
+    batches after ``batch_window_s`` of simulated time.  ``queue_depth``
+    bounds the admission queue in front of the VOTE handler (``None`` =
+    unbounded); above it the queue **sheds** requests with a retry hint the
+    voter client honours, or **blocks** (keeps queueing, modelling transport
+    backpressure), per ``policy``.  ``service_ms`` is the modelled admission
+    service time per request; 0 admits inline, which is the historical
+    behaviour and never builds a backlog.
+    """
+
+    queue_depth: Optional[int] = None
+    policy: str = "shed"
+    service_ms: float = 0.0
+    endorse_batch_size: int = 1
+    batch_window_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        validate_admission_flags(
+            self.queue_depth,
+            self.policy,
+            self.service_ms / 1000.0,
+            self.endorse_batch_size,
+            self.batch_window_s,
+        )
+
+    @property
+    def batching_enabled(self) -> bool:
+        return self.endorse_batch_size > 1
+
+    @classmethod
+    def batched(cls, batch_size: int = 32, **overrides: Any) -> "AdmissionProfile":
+        """Batched endorsement verification with the default open queue."""
+        return cls(endorse_batch_size=batch_size, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.queue_depth,
+            "policy": self.policy,
+            "service_ms": self.service_ms,
+            "endorse_batch_size": self.endorse_batch_size,
+            "batch_window_s": self.batch_window_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionProfile":
+        depth = data.get("queue_depth")
+        return cls(
+            queue_depth=None if depth is None else int(depth),
+            policy=str(data.get("policy", "shed")),
+            service_ms=float(data.get("service_ms", 0.0)),
+            endorse_batch_size=int(data.get("endorse_batch_size", 1)),
+            batch_window_s=float(data.get("batch_window_s", 0.05)),
         )
 
 
@@ -811,6 +876,7 @@ class ScenarioSpec:
     storage: str = "memory"
     consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
     audit: AuditConfig = field(default_factory=AuditConfig)
+    admission: AdmissionProfile = field(default_factory=AdmissionProfile)
     network: NetworkProfile = field(default_factory=NetworkProfile)
     adversary: AdversaryProfile = field(default_factory=AdversaryProfile)
     crypto: CryptoProfile = field(default_factory=CryptoProfile)
@@ -942,6 +1008,11 @@ class ScenarioSpec:
             audit_workers=self.audit.workers,
             batch_security_bits=self.audit.security_bits,
             num_shards=self.sharding.num_shards,
+            endorse_batch_size=self.admission.endorse_batch_size,
+            endorse_batch_window=self.admission.batch_window_s,
+            admission_queue_depth=self.admission.queue_depth,
+            admission_policy=self.admission.policy,
+            admission_service_s=self.admission.service_ms / 1000.0,
         )
 
     @classmethod
@@ -972,6 +1043,13 @@ class ScenarioSpec:
             voter_patience=voter_patience,
             stagger=stagger,
             consensus=ConsensusConfig(batch_size=params.consensus_batch_size),
+            admission=AdmissionProfile(
+                queue_depth=params.admission_queue_depth,
+                policy=params.admission_policy,
+                service_ms=params.admission_service_s * 1000.0,
+                endorse_batch_size=params.endorse_batch_size,
+                batch_window_s=params.endorse_batch_window,
+            ),
             audit=AuditConfig(
                 enabled=audit_enabled,
                 batch=params.batch_audit,
@@ -1009,6 +1087,7 @@ class ScenarioSpec:
             "storage": self.storage,
             "consensus": self.consensus.to_dict(),
             "audit": self.audit.to_dict(),
+            "admission": self.admission.to_dict(),
             "network": self.network.to_dict(),
             "adversary": self.adversary.to_dict(),
             "crypto": self.crypto.to_dict(),
@@ -1038,6 +1117,7 @@ class ScenarioSpec:
             storage=str(data.get("storage", "memory")),
             consensus=ConsensusConfig.from_dict(data.get("consensus", {})),
             audit=AuditConfig.from_dict(data.get("audit", {})),
+            admission=AdmissionProfile.from_dict(data.get("admission", {})),
             network=NetworkProfile.from_dict(data.get("network", {})),
             adversary=AdversaryProfile.from_dict(data.get("adversary", {})),
             crypto=CryptoProfile.from_dict(data.get("crypto", {})),

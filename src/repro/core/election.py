@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.core.admission import validate_admission_flags
+
 
 @dataclass(frozen=True)
 class FaultThresholds:
@@ -101,6 +103,20 @@ class ElectionParameters:
     #: the BB combine the tally shard-product by shard-product, publishing a
     #: two-phase shard-commit record (the outcome is unchanged either way).
     num_shards: int = 1
+    #: Voting-phase admission pipeline (see :mod:`repro.core.admission`).
+    #: ``endorse_batch_size == 1`` verifies every incoming ENDORSEMENT
+    #: signature one at a time (the paper's path); B > 1 batches up to B
+    #: signatures per small-exponent aggregate equation, flushing partial
+    #: batches after ``endorse_batch_window`` seconds of simulated time.
+    endorse_batch_size: int = 1
+    endorse_batch_window: float = 0.05
+    #: Bounded admission queue in front of the VOTE handler: ``None`` depth is
+    #: unbounded; above the depth the queue sheds with a retry hint
+    #: (``admission_policy="shed"``) or keeps queueing (``"block"``).  A zero
+    #: service time admits inline (the historical behaviour).
+    admission_queue_depth: Optional[int] = None
+    admission_policy: str = "shed"
+    admission_service_s: float = 0.0
 
     def __post_init__(self) -> None:
         if len(self.options) < 2:
@@ -118,6 +134,13 @@ class ElectionParameters:
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         validate_audit_flags(self.audit_workers, self.batch_security_bits)
+        validate_admission_flags(
+            self.admission_queue_depth,
+            self.admission_policy,
+            self.admission_service_s,
+            self.endorse_batch_size,
+            self.endorse_batch_window,
+        )
         self.thresholds.validate()
         # O(1) label lookups for the hot option_index path (frozen dataclass,
         # so the cache is installed via object.__setattr__).
@@ -154,6 +177,7 @@ class ElectionParameters:
         batch_audit: bool = True,
         audit_workers: Optional[int] = 1,
         batch_security_bits: int = 64,
+        endorse_batch_size: int = 1,
     ) -> "ElectionParameters":
         """Convenience constructor used heavily by tests and examples."""
         options = [f"option-{i + 1}" for i in range(num_options)]
@@ -167,4 +191,5 @@ class ElectionParameters:
             batch_audit=batch_audit,
             audit_workers=audit_workers,
             batch_security_bits=batch_security_bits,
+            endorse_batch_size=endorse_batch_size,
         )

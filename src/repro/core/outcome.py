@@ -67,6 +67,27 @@ class ElectionOutcome:
         return totals
 
     @property
+    def admission_stats(self) -> Dict[str, int]:
+        """Aggregate voting-phase admission counters across all VC nodes.
+
+        Keys match :class:`repro.core.admission.AdmissionStats`: queue
+        pressure (requests, admitted, shed, peak depth) and the endorsement
+        batch-verification counters.  ``peak_depth`` aggregates as the max
+        over nodes; everything else sums.
+        """
+        totals: Dict[str, int] = {}
+        for node in self.vote_collectors:
+            stats = getattr(node, "admission_stats", None)
+            if stats is None:
+                continue
+            for key, value in stats.as_dict().items():
+                if key == "peak_depth":
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    @property
     def all_receipts_valid(self) -> bool:
         """Whether every obtained receipt matched the ballot's printed receipt."""
         return all(voter.receipt_valid for voter in self.voters if voter.receipt is not None)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.batching import (
@@ -31,6 +32,14 @@ from repro.consensus.batching import (
 )
 from repro.consensus.bracha import BinaryConsensusInstance
 from repro.consensus.interfaces import ConsensusMessage
+from repro.core.admission import (
+    AdmissionQueue,
+    AdmissionStats,
+    EndorsementBatcher,
+    batch_verify_signers,
+    node_batch_seed,
+    shed_reason,
+)
 from repro.core.ea import VcInitData, bb_node_id, vc_node_id
 from repro.core.election import ElectionParameters
 from repro.core.messages import (
@@ -128,6 +137,7 @@ class VscStats:
         }
 
 
+@lru_cache(maxsize=1 << 16)
 def endorsement_message(serial: int, vote_code: bytes) -> bytes:
     """The byte string a VC node signs when endorsing a vote code.
 
@@ -135,6 +145,10 @@ def endorsement_message(serial: int, vote_code: bytes) -> bytes:
     under a domain tag, so the signed bytes are exactly what travels on the
     wire -- no ad-hoc concatenation that could diverge from the transport
     format (or collide across field boundaries).
+
+    Every (serial, vote_code) pair is signed once and verified ``O(Nv)``
+    times across the subsystem, so the canonical encoding is memoized instead
+    of re-framed per verification.
     """
     # Imported lazily: the codec registers this module's message types.
     from repro.net.codec import signing_bytes
@@ -211,6 +225,52 @@ class VoteCollectorNode(SimNode):
                 )
             )
 
+        # Voting-phase admission pipeline (see repro.core.admission).  The
+        # per-signer verification tables are built once here: every peer key
+        # verifies one signature per ballot, so the window tables always
+        # amortize and the hot path never pays the lazy-promotion probes.
+        self.admission_stats = AdmissionStats()
+        for public in self.init.vc_public_keys.values():
+            public.group.fixed_base(public)
+        self._batch_verifier = None
+        self._endorse_batcher: Optional[EndorsementBatcher] = None
+        if params.endorse_batch_size > 1 and self.init.vc_public_keys:
+            # Imported here so the core layer only pays for the batch
+            # verifier when batching is switched on.
+            from repro.crypto.batch_verify import BatchVerifier
+            from repro.crypto.utils import RandomSource
+
+            group = next(iter(self.init.vc_public_keys.values())).group
+            self._batch_verifier = BatchVerifier(
+                group,
+                security_bits=params.batch_security_bits,
+                rng=RandomSource(node_batch_seed(self.node_id)),
+            )
+            self._endorse_batcher = EndorsementBatcher(
+                node=self,
+                verifier=self._batch_verifier,
+                stats=self.admission_stats,
+                public_key_of=self.init.vc_public_keys.get,
+                message_of=lambda e: endorsement_message(e.serial, e.vote_code),
+                process=self._accept_endorsement,
+                wanted=self._endorsement_wanted,
+                batch_size=params.endorse_batch_size,
+                window_s=params.endorse_batch_window,
+            )
+        self._admission = AdmissionQueue(
+            node=self,
+            stats=self.admission_stats,
+            on_admit=self._on_vote_request,
+            on_shed=self._shed_vote_request,
+            depth=params.admission_queue_depth,
+            policy=params.admission_policy,
+            service_s=params.admission_service_s,
+        )
+        #: memo of verified uniqueness certificates: the same UCERT is
+        #: re-checked on every VOTE_P, ANNOUNCE and RECOVER-RESPONSE that
+        #: carries it, and a certificate's validity never changes.
+        self._ucert_cache: Dict[Tuple, bool] = {}
+
         # Statistics (used by tests and the performance harness).
         self.receipts_issued = 0
         self.votes_rejected = 0
@@ -226,7 +286,7 @@ class VoteCollectorNode(SimNode):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, VoteRequest):
-            self._on_vote_request(message.sender, payload)
+            self._admission.offer(message.sender, payload)
         elif isinstance(payload, Endorse):
             self._on_endorse(message.sender, payload)
         elif isinstance(payload, Endorsement):
@@ -252,6 +312,14 @@ class VoteCollectorNode(SimNode):
         return (
             not self.voting_closed
             and self.params.within_voting_hours(self.now)
+        )
+
+    def _shed_vote_request(self, voter: str, request: VoteRequest, retry_after_s: float) -> None:
+        """Overload: reject with a retry hint instead of queueing deeper."""
+        self.send(
+            voter,
+            VoteRejected(request.serial, request.vote_code, shed_reason(retry_after_s)),
+            channel=ChannelKind.PUBLIC,
         )
 
     def _on_vote_request(self, voter: str, request: VoteRequest) -> None:
@@ -313,17 +381,39 @@ class VoteCollectorNode(SimNode):
         )
         self.send(sender, Endorsement(request.serial, request.vote_code, self.node_id, signature))
 
-    def _on_endorsement(self, sender: str, endorsement: Endorsement) -> None:
-        """Collect endorsements; at Nv - fv form the UCERT and disclose our share."""
+    def _endorsement_wanted(self, endorsement: Endorsement) -> bool:
+        """Whether an ENDORSEMENT can still advance this ballot (Algorithm 1 guards)."""
         if not self._within_voting_hours():
-            return
+            return False
         record = self.ballots.get(endorsement.serial)
         if record is None or record.status is not BallotStatus.NOT_VOTED:
-            return
+            return False
         if not record.endorse_requested or record.location is None:
+            return False
+        return True
+
+    def _on_endorsement(self, sender: str, endorsement: Endorsement) -> None:
+        """Collect endorsements; at Nv - fv form the UCERT and disclose our share.
+
+        With batching on, signature verification is deferred to the
+        :class:`~repro.core.admission.EndorsementBatcher`, which hands
+        verified endorsements back to :meth:`_accept_endorsement`.
+        """
+        if not self._endorsement_wanted(endorsement):
+            return
+        if self._endorse_batcher is not None:
+            self._endorse_batcher.add(endorsement)
             return
         if not self._verify_endorsement(endorsement):
             return
+        self._accept_endorsement(endorsement)
+
+    def _accept_endorsement(self, endorsement: Endorsement) -> None:
+        """Record a signature-verified endorsement (guards re-checked: the
+        batch may have waited while the ballot moved on)."""
+        if not self._endorsement_wanted(endorsement):
+            return
+        record = self.ballots[endorsement.serial]
         record.endorsements[endorsement.signer] = endorsement
         if len(record.endorsements) < self.quorum:
             return
@@ -413,18 +503,46 @@ class VoteCollectorNode(SimNode):
         )
 
     def verify_ucert(self, ucert: Optional[UniquenessCertificate]) -> bool:
-        """Check a uniqueness certificate: Nv - fv valid signatures from distinct nodes."""
+        """Check a uniqueness certificate: Nv - fv valid signatures from distinct nodes.
+
+        The verdict is memoized by certificate content: the same UCERT rides
+        on every VOTE_P, ANNOUNCE and RECOVER-RESPONSE for its ballot, and
+        signature validity never changes.  On a miss with batching enabled,
+        the quorum of signatures is checked with one aggregate equation.
+        """
         if ucert is None:
             return False
-        signers = set()
-        for endorsement in ucert.endorsements:
-            if endorsement.serial != ucert.serial or endorsement.vote_code != ucert.vote_code:
-                continue
-            if endorsement.signer in signers:
-                continue
-            if self._verify_endorsement(endorsement):
-                signers.add(endorsement.signer)
-        return len(signers) >= self.quorum
+        key = (
+            ucert.serial,
+            ucert.vote_code,
+            tuple(
+                (e.signer, e.signature.challenge, e.signature.response)
+                for e in ucert.endorsements
+            ),
+        )
+        cached = self._ucert_cache.get(key)
+        if cached is not None:
+            self.admission_stats.ucert_cache_hits += 1
+            return cached
+        consistent = [
+            e
+            for e in ucert.endorsements
+            if e.serial == ucert.serial and e.vote_code == ucert.vote_code
+        ]
+        if self._batch_verifier is not None:
+            signers = batch_verify_signers(
+                self._batch_verifier,
+                consistent,
+                self.init.vc_public_keys.get,
+                lambda e: endorsement_message(e.serial, e.vote_code),
+            )
+        else:
+            signers = {
+                e.signer for e in consistent if self._verify_endorsement(e)
+            }
+        verdict = len(signers) >= self.quorum
+        self._ucert_cache[key] = verdict
+        return verdict
 
     # ------------------------------------------------------------------ Vote Set Consensus
 
@@ -736,6 +854,10 @@ class VoteCollectorNode(SimNode):
         self.uploaded = False
         self.superblocks = {}
         self._sb_buffer = {}
+        self._admission.reset()
+        if self._endorse_batcher is not None:
+            self._endorse_batcher.reset()
+        self._ucert_cache = {}
         if self.batch_size > 1:
             self._sb_pending_announces = {
                 block_id: set(serials) for block_id, serials in self._block_serials.items()

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.admission import parse_retry_hint
 from repro.core.ballot import PART_A, PART_B, Ballot
 from repro.core.messages import VoteReceipt, VoteRejected, VoteRequest
 from repro.net.channels import ChannelKind, Message
@@ -75,8 +76,17 @@ class VoterClient(SimNode):
         self.receipt: Optional[bytes] = None
         self.receipt_valid: Optional[bool] = None
         self.rejections: List[VoteRejected] = []
+        self.retry_hints_followed = 0
         self.submitted_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        #: submission epoch: stale patience timers (superseded by a
+        #: hint-driven resubmit) are ignored instead of blacklisting the
+        #: target of a *newer* submission.
+        self._epoch = 0
+
+    #: an overloaded VC is not faulty: follow its retry hint at most this
+    #: many times before falling back to the [d]-patience blacklist path.
+    MAX_RETRY_HINTS = 8
 
     # -- actions -------------------------------------------------------------------
 
@@ -94,12 +104,20 @@ class VoterClient(SimNode):
         target = candidates[self._rng.randrange(len(candidates))]
         self.current_target = target
         self.attempts += 1
+        self._epoch += 1
+        epoch = self._epoch
         request = VoteRequest(self.ballot.serial, self.vote_code, self.node_id)
         self.send(target, request, channel=ChannelKind.PUBLIC)
         # [d]-patience: resubmit elsewhere if no receipt within the window.
-        self.set_timer(self.patience, self._on_patience_expired, description="patience")
+        self.set_timer(
+            self.patience,
+            lambda: self._on_patience_expired(epoch),
+            description="patience",
+        )
 
-    def _on_patience_expired(self) -> None:
+    def _on_patience_expired(self, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return
         if self.receipt is not None or self.current_target is None:
             return
         self.blacklist.append(self.current_target)
@@ -113,7 +131,24 @@ class VoterClient(SimNode):
         if isinstance(payload, VoteReceipt):
             self._on_receipt(payload)
         elif isinstance(payload, VoteRejected):
-            self.rejections.append(payload)
+            self._on_rejected(payload)
+
+    def _on_rejected(self, rejection: VoteRejected) -> None:
+        self.rejections.append(rejection)
+        if self.receipt is not None:
+            return
+        if rejection.serial != self.ballot.serial or rejection.vote_code != self.vote_code:
+            return
+        # Shed-with-retry-hint (admission-queue overload): resubmit after the
+        # hinted backoff without blacklisting -- the node is busy, not faulty.
+        hint = parse_retry_hint(rejection.reason)
+        if hint is None or self.retry_hints_followed >= self.MAX_RETRY_HINTS:
+            return
+        self.retry_hints_followed += 1
+        self.current_target = None
+        self._epoch += 1  # disarm the outstanding patience timer
+        backoff = min(max(hint, 0.001), self.patience / 2.0)
+        self.set_timer(backoff, self._submit, description="shed-retry")
 
     def _on_receipt(self, receipt: VoteReceipt) -> None:
         if self.receipt is not None:

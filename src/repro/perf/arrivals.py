@@ -1,0 +1,254 @@
+"""Seeded, composable open-loop arrival processes for the traffic engine.
+
+The closed-loop clients of :mod:`repro.perf.loadsim` reproduce the paper's
+measurement methodology, but a real national election does not throttle its
+voters to the system's completion rate: requests arrive on their own clock.
+This module provides the arrival-time generators that drive the open-loop
+mode of the load simulator:
+
+* :class:`PoissonArrivals`   -- homogeneous Poisson traffic at a constant rate;
+* :class:`DiurnalArrivals`   -- a non-homogeneous Poisson process whose rate
+  follows a sinusoidal day curve (morning/evening peaks), sampled by
+  thinning;
+* :class:`FlashCrowdArrivals` -- a base rate with a multiplicative spike over
+  a time window (poll-opening rushes, "get out the vote" pushes);
+* :class:`SlowDripArrivals`  -- near-deterministic low-rate traffic with
+  bounded jitter (absentee trickle), useful as a background component.
+
+Every process is a frozen dataclass with an explicit ``seed``: ``times()`` is
+a pure function of the configuration, so runs are reproducible and the same
+process object can be sampled repeatedly with identical results.  Processes
+compose by :func:`superpose`, which merges the sorted streams -- the
+superposition of independent Poisson processes is itself Poisson, so
+realistic mixtures (drip + diurnal + spike) are built from the parts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Protocol, Tuple
+
+
+class ArrivalProcess(Protocol):
+    """Anything that can produce a sorted list of arrival times."""
+
+    name: str
+
+    def times(self, duration_s: float) -> List[float]:
+        """Arrival times in ``[0, duration_s)``, sorted ascending."""
+        ...
+
+
+def _check_duration(duration_s: float) -> None:
+    if not math.isfinite(duration_s) or duration_s <= 0:
+        raise ValueError("duration must be a positive finite number of seconds")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate_per_s``."""
+
+    rate_per_s: float
+    seed: int = 1
+    name: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def times(self, duration_s: float) -> List[float]:
+        _check_duration(duration_s)
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        t = rng.expovariate(self.rate_per_s)
+        while t < duration_s:
+            out.append(t)
+            t += rng.expovariate(self.rate_per_s)
+        return out
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Non-homogeneous Poisson arrivals with a sinusoidal day curve.
+
+    ``rate(t) = mean_rate_per_s * (1 + amplitude * sin(2 pi (t/period - phase)))``
+
+    with ``amplitude`` in ``[0, 1)`` so the rate stays positive.  Sampled by
+    Lewis-Shedler thinning of a homogeneous process at the peak rate, which
+    is exact for any bounded rate function.
+    """
+
+    mean_rate_per_s: float
+    amplitude: float = 0.6
+    period_s: float = 86_400.0
+    #: fraction of the period by which the peak is shifted (0.25 puts the
+    #: peak at one quarter into the window)
+    phase: float = 0.0
+    seed: int = 1
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.period_s <= 0:
+            raise ValueError("diurnal period must be positive")
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at time ``t``."""
+        angle = 2.0 * math.pi * (t / self.period_s - self.phase)
+        return self.mean_rate_per_s * (1.0 + self.amplitude * math.sin(angle))
+
+    def times(self, duration_s: float) -> List[float]:
+        _check_duration(duration_s)
+        rng = random.Random(self.seed)
+        peak = self.mean_rate_per_s * (1.0 + self.amplitude)
+        out: List[float] = []
+        t = rng.expovariate(peak)
+        while t < duration_s:
+            if rng.random() * peak <= self.rate_at(t):
+                out.append(t)
+            t += rng.expovariate(peak)
+        return out
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals:
+    """A base Poisson rate with a multiplicative spike over a window.
+
+    During ``[spike_start_s, spike_start_s + spike_duration_s)`` the rate is
+    ``base_rate_per_s * spike_factor``; outside it, the base rate.  Sampled
+    by thinning at the spike rate.
+    """
+
+    base_rate_per_s: float
+    spike_factor: float = 10.0
+    spike_start_s: float = 0.0
+    spike_duration_s: float = 60.0
+    seed: int = 1
+    name: str = "flash-crowd"
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike factor must be at least 1 (use base rate for quiet runs)")
+        if self.spike_start_s < 0 or self.spike_duration_s <= 0:
+            raise ValueError("spike window must be non-negative start, positive duration")
+
+    def rate_at(self, t: float) -> float:
+        in_spike = self.spike_start_s <= t < self.spike_start_s + self.spike_duration_s
+        return self.base_rate_per_s * (self.spike_factor if in_spike else 1.0)
+
+    def times(self, duration_s: float) -> List[float]:
+        _check_duration(duration_s)
+        rng = random.Random(self.seed)
+        peak = self.base_rate_per_s * self.spike_factor
+        out: List[float] = []
+        t = rng.expovariate(peak)
+        while t < duration_s:
+            if rng.random() * peak <= self.rate_at(t):
+                out.append(t)
+            t += rng.expovariate(peak)
+        return out
+
+
+@dataclass(frozen=True)
+class SlowDripArrivals:
+    """Near-deterministic low-rate traffic: even spacing with bounded jitter.
+
+    ``jitter`` is the fraction of the inter-arrival gap each arrival may be
+    displaced by (uniformly), so the stream never reorders.
+    """
+
+    rate_per_s: float
+    jitter: float = 0.1
+    seed: int = 1
+    name: str = "slow-drip"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.jitter <= 0.5:
+            raise ValueError("drip jitter must be in [0, 0.5] (half a gap keeps order)")
+
+    def times(self, duration_s: float) -> List[float]:
+        _check_duration(duration_s)
+        rng = random.Random(self.seed)
+        gap = 1.0 / self.rate_per_s
+        out: List[float] = []
+        k = 0
+        while True:
+            base = (k + 0.5) * gap
+            if base >= duration_s:
+                break
+            t = base + rng.uniform(-self.jitter, self.jitter) * gap
+            if 0.0 <= t < duration_s:
+                out.append(t)
+            k += 1
+        return out
+
+
+@dataclass(frozen=True)
+class Superposition:
+    """The merge of several independent arrival processes."""
+
+    components: Tuple[ArrivalProcess, ...]
+    name: str = "superposition"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a superposition needs at least one component")
+
+    def times(self, duration_s: float) -> List[float]:
+        streams = [component.times(duration_s) for component in self.components]
+        return list(heapq.merge(*streams))
+
+
+def superpose(*components: ArrivalProcess) -> Superposition:
+    """Compose independent processes into one stream (sorted merge)."""
+    name = "+".join(component.name for component in components)
+    return Superposition(components=tuple(components), name=name or "superposition")
+
+
+def expected_count(process: ArrivalProcess, duration_s: float) -> float:
+    """Analytic expected arrivals over the window, for statistical checks."""
+    if isinstance(process, Superposition):
+        return sum(expected_count(c, duration_s) for c in process.components)
+    if isinstance(process, PoissonArrivals):
+        return process.rate_per_s * duration_s
+    if isinstance(process, SlowDripArrivals):
+        return process.rate_per_s * duration_s
+    if isinstance(process, FlashCrowdArrivals):
+        spike_end = min(process.spike_start_s + process.spike_duration_s, duration_s)
+        spike = max(0.0, spike_end - min(process.spike_start_s, duration_s))
+        return process.base_rate_per_s * (
+            (duration_s - spike) + spike * process.spike_factor
+        )
+    if isinstance(process, DiurnalArrivals):
+        # Integrate the sinusoid exactly over [0, duration].
+        two_pi = 2.0 * math.pi
+        def antiderivative(t: float) -> float:
+            angle = two_pi * (t / process.period_s - process.phase)
+            return t - process.amplitude * process.period_s / two_pi * math.cos(angle)
+        return process.mean_rate_per_s * (antiderivative(duration_s) - antiderivative(0.0))
+    raise TypeError(f"no analytic count for {type(process).__name__}")
+
+
+def iter_batches(times: Iterable[float], window_s: float) -> Iterable[List[float]]:
+    """Group sorted arrival times into consecutive windows (diagnostics)."""
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    batch: List[float] = []
+    edge = window_s
+    for t in times:
+        while t >= edge:
+            yield batch
+            batch = []
+            edge += window_s
+        batch.append(t)
+    yield batch

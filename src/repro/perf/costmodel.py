@@ -358,6 +358,57 @@ class AuditCosts:
 
 
 @dataclass(frozen=True)
+class AdmissionCosts:
+    """Analytic multiplication model of batched endorsement verification.
+
+    The voting-phase analogue of :class:`AuditCosts`: a responder assembling
+    a UCERT (and a helper re-verifying one) checks Schnorr endorsement
+    signatures from the other VC nodes.  Verified one at a time, each check
+    costs two fixed-base exponentiations (the generator and the signer's key,
+    both with precomputed tables after node init).  Verified as a batch of
+    ``B`` with the small-exponent test (:mod:`repro.crypto.batch_verify`),
+    the aggregate equation costs one shared chain of squarings, half a
+    ``security_bits``-wide exponent per item (the nonce commitments carry the
+    random weights), and one warmed fixed-base exponentiation per distinct
+    base -- the generator plus each of the ``num_signers`` signer keys.
+
+    The voting-throughput benchmark reports this predicted speedup next to
+    the measured one, like :class:`ConsensusCosts` does for superblock VSC.
+    """
+
+    exponent_bits: int = 256
+    security_bits: int = 64
+    #: multiplications per fixed-base exponentiation with a window-5 table
+    fixed_base_multiplications: float = 52.0
+    #: distinct signer keys appearing in one batch (the other VC nodes)
+    num_signers: int = 4
+
+    def serial_multiplications(self, num_items: int) -> float:
+        """Cost of verifying ``num_items`` endorsements one at a time."""
+        if num_items < 0:
+            raise ValueError("the number of items cannot be negative")
+        return num_items * 2.0 * self.fixed_base_multiplications
+
+    def batched_multiplications(self, num_items: int) -> float:
+        """Cost of the one aggregated batch equation over ``num_items``."""
+        if num_items < 0:
+            raise ValueError("the number of items cannot be negative")
+        shared_squarings = self.exponent_bits + self.security_bits
+        variable = num_items * self.security_bits / 2.0
+        fixed = (self.num_signers + 1) * self.fixed_base_multiplications
+        return shared_squarings + variable + fixed
+
+    def batch_speedup(self, batch_size: int) -> float:
+        """Predicted serial/batched multiplication ratio at ``batch_size``."""
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        batched = self.batched_multiplications(batch_size)
+        if batched <= 0:
+            return 1.0
+        return self.serial_multiplications(batch_size) / batched
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """The physical machines hosting the VC nodes (the paper used 4)."""
 
@@ -401,9 +452,14 @@ class CostModel:
     network: NetworkProfile = field(default_factory=NetworkProfile.lan)
     consensus: ConsensusCosts = field(default_factory=ConsensusCosts)
     bandwidth: BandwidthCosts = field(default_factory=BandwidthCosts)
+    admission: AdmissionCosts = field(default_factory=AdmissionCosts)
     database: Optional[DatabaseCosts] = None
     num_ballots: int = 200_000
     num_options: int = 4
+    #: endorsement batch size on the VC nodes; 1 = per-message verification
+    #: (the historical model), >1 scales the endorsement-verification stages
+    #: by the predicted small-exponent batch speedup.
+    endorse_batch_size: int = 1
 
     # -- per-stage CPU / disk work (all in milliseconds) ------------------------------
 
@@ -440,15 +496,22 @@ class CostModel:
         """Stage 2 (per helper): validate the ENDORSE and sign an ENDORSEMENT (CPU part)."""
         return self._ballot_access_cpu_ms() + self.crypto.sign_ms
 
+    def _endorsement_verify_discount(self) -> float:
+        """Verification-cost factor from endorsement batching (1.0 unbatched)."""
+        if self.endorse_batch_size <= 1:
+            return 1.0
+        return 1.0 / self.admission.batch_speedup(self.endorse_batch_size)
+
     def responder_certificate_ms(self, num_vc: int) -> float:
         """Stage 3: verify up to Nv-1 endorsements and assemble the UCERT."""
-        return (num_vc - 1) * self.crypto.verify_ms + self.crypto.request_overhead_ms
+        verify = (num_vc - 1) * self.crypto.verify_ms * self._endorsement_verify_discount()
+        return verify + self.crypto.request_overhead_ms
 
     def helper_vote_pending_ms(self, num_vc: int) -> float:
         """Stage 4 (per helper): verify the UCERT and the responder's share, sign own VOTE_P."""
         quorum = num_vc - (num_vc - 1) // 3
         return (
-            quorum * self.crypto.verify_ms
+            quorum * self.crypto.verify_ms * self._endorsement_verify_discount()
             + self.crypto.share_verify_ms
             + self.crypto.sign_ms
         )
@@ -524,6 +587,19 @@ class CostModel:
         # One disk per machine; a vote consumes ``disk_ms`` of disk time in total.
         disk_limit = self.machines.num_machines * 1000.0 / disk_ms
         return min(cpu_limit, disk_limit)
+
+    def sustained_votes_per_vc_estimate(self, num_vc: int) -> float:
+        """Predicted sustained admission rate (votes/s) *per VC node*.
+
+        The per-node share of the saturated subsystem throughput; rises with
+        ``endorse_batch_size`` because batching shrinks the two
+        endorsement-verification stages on the critical path.
+        """
+        return self.saturated_throughput_estimate(num_vc) / num_vc
+
+    def endorse_batching_speedup(self, batch_size: Optional[int] = None) -> float:
+        """Predicted endorsement-verification speedup at this batch size."""
+        return self.admission.batch_speedup(batch_size or self.endorse_batch_size)
 
     def unloaded_latency_estimate_ms(self, num_vc: int) -> float:
         """Response time of a single vote on an idle system."""

@@ -1,4 +1,4 @@
-"""Closed-loop discrete-event simulation of the vote-collection protocol.
+"""Discrete-event load simulation of the vote-collection protocol.
 
 This is the engine behind the reproduction of Figures 4a-4f, 5a and 5b.  It
 mirrors the paper's measurement methodology:
@@ -16,6 +16,15 @@ mirrors the paper's measurement methodology:
 
 The simulator reports sustained throughput and the response-time distribution
 over a measurement window after warm-up.
+
+Besides the paper's closed loop, :meth:`VoteCollectionLoadSimulator.run_open_loop`
+drives the same vote pipeline from an externally generated arrival stream
+(:mod:`repro.perf.arrivals`): votes arrive on the *voters'* clock, and each
+responder enforces a bounded admission window -- arrivals beyond
+``admission_depth`` in-flight votes are shed, exactly like the admission
+queue in :mod:`repro.core.admission`.  This is the regime where batching and
+backpressure matter: a closed loop can never overload the system, an election
+morning can.
 """
 
 from __future__ import annotations
@@ -25,14 +34,19 @@ import itertools
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.perf.costmodel import CostModel
 
 
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sequence."""
+    return sorted_values[int(fraction * (len(sorted_values) - 1))]
+
+
 @dataclass
 class LoadResult:
-    """Outcome of one load-simulation run."""
+    """Outcome of one closed-loop load-simulation run."""
 
     num_vc: int
     num_clients: int
@@ -41,7 +55,9 @@ class LoadResult:
     throughput_ops: float
     mean_latency_s: float
     median_latency_s: float
+    p50_latency_s: float
     p95_latency_s: float
+    p99_latency_s: float
     network_name: str
 
     def as_row(self) -> Dict[str, float]:
@@ -51,7 +67,49 @@ class LoadResult:
             "num_clients": self.num_clients,
             "throughput_ops": round(self.throughput_ops, 2),
             "mean_latency_s": round(self.mean_latency_s, 4),
+            "p50_latency_s": round(self.p50_latency_s, 4),
             "p95_latency_s": round(self.p95_latency_s, 4),
+            "p99_latency_s": round(self.p99_latency_s, 4),
+        }
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop (arrival-driven) load-simulation run."""
+
+    num_vc: int
+    arrival_process: str
+    offered: int
+    admitted: int
+    shed: int
+    completed: int
+    duration_s: float
+    throughput_ops: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    peak_in_flight: int
+    network_name: str
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered votes shed at admission."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary (one benchmark data point)."""
+        return {
+            "num_vc": self.num_vc,
+            "arrival_process": self.arrival_process,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "throughput_ops": round(self.throughput_ops, 2),
+            "p50_latency_s": round(self.p50_latency_s, 4),
+            "p95_latency_s": round(self.p95_latency_s, 4),
+            "p99_latency_s": round(self.p99_latency_s, 4),
+            "peak_in_flight": self.peak_in_flight,
         }
 
 
@@ -126,20 +184,10 @@ class VoteCollectionLoadSimulator:
         self.rng = random.Random(seed)
         self.quorum = num_vc - (num_vc - 1) // 3
 
-    # -- main entry point -----------------------------------------------------------
+    # -- shared vote pipeline -----------------------------------------------------
 
-    def run(
-        self,
-        target_votes: Optional[int] = None,
-        warmup_votes: Optional[int] = None,
-    ) -> LoadResult:
-        """Run until ``target_votes`` measured votes complete (after warm-up)."""
-        if target_votes is None:
-            target_votes = max(2_000, 2 * self.num_clients)
-        if warmup_votes is None:
-            warmup_votes = max(200, self.num_clients // 2)
-
-        engine = _Engine()
+    def _make_cluster(self) -> Tuple[List[_MachineQueue], List[_MachineQueue]]:
+        """The physical machines (multi-core CPU) and their one-server disks."""
         num_machines = min(self.model.machines.num_machines, self.num_vc)
         machines = [
             _MachineQueue(self.model.machines.cores_per_machine) for _ in range(num_machines)
@@ -147,11 +195,24 @@ class VoteCollectionLoadSimulator:
         # One disk per machine (PostgreSQL-backed experiments); a single server
         # each, which is what makes the database the bottleneck in Figures 5a-5c.
         disks = [_MachineQueue(1) for _ in range(num_machines)]
-        disk_access_ms = self.model.ballot_access_disk_ms()
+        return machines, disks
 
-        completed: List[float] = []          # latencies of measured votes
-        state = {"completed": 0, "measure_start": None, "measure_end": None}
-        total_needed = warmup_votes + target_votes
+    def _start_vote_pipeline(
+        self,
+        engine: _Engine,
+        machines: List[_MachineQueue],
+        disks: List[_MachineQueue],
+        responder: int,
+        begin: float,
+        on_finished: Callable[[float], None],
+    ) -> None:
+        """Drive one vote down the critical path of Algorithm 1.
+
+        ``on_finished(finish_time)`` runs when the receipt reaches the client.
+        """
+        disk_access_ms = self.model.ballot_access_disk_ms()
+        inter_vc_s = self.model.network.inter_vc_ms / 1000.0
+        client_hop_s = self.model.network.client_to_vc_ms / 1000.0
 
         def machine_for(vc_index: int) -> _MachineQueue:
             return machines[vc_index % len(machines)]
@@ -171,84 +232,103 @@ class VoteCollectionLoadSimulator:
 
             disk_for(vc_index).submit(at, disk_access_ms, after_disk, engine)
 
-        inter_vc_s = self.model.network.inter_vc_ms / 1000.0
-        client_hop_s = self.model.network.client_to_vc_ms / 1000.0
+        # Stage 1: request travels to the responder and is validated there.
+        def after_request_hop(t: float) -> None:
+            submit_with_disk(
+                responder, t, self.model.responder_initial_ms(), after_initial
+            )
+
+        def after_initial(t: float) -> None:
+            # Stage 2: ENDORSE round; we need the (quorum-1)-th helper reply.
+            helper_done_times: List[float] = []
+            pending = {"count": 0}
+
+            def helper_finished(ht: float) -> None:
+                helper_done_times.append(ht)
+                pending["count"] += 1
+                if pending["count"] == self.quorum - 1:
+                    reply_at = ht + inter_vc_s
+                    engine.schedule(reply_at, after_endorsements)
+
+            for helper in range(self.num_vc):
+                if helper == responder:
+                    continue
+                arrival = t + inter_vc_s
+
+                def submit_helper(ht: float, helper=helper) -> None:
+                    submit_with_disk(
+                        helper, ht, self.model.helper_endorse_ms(), helper_finished
+                    )
+
+                engine.schedule(arrival, submit_helper)
+
+        def after_endorsements(t: float) -> None:
+            # Stage 3: the responder verifies the endorsements, builds the UCERT.
+            machine_for(responder).submit(
+                t, self.model.responder_certificate_ms(self.num_vc), after_ucert, engine
+            )
+
+        def after_ucert(t: float) -> None:
+            # Stage 4: VOTE_P round; again wait for the quorum of helpers.
+            pending = {"count": 0}
+
+            def helper_finished(ht: float) -> None:
+                pending["count"] += 1
+                if pending["count"] == self.quorum - 1:
+                    engine.schedule(ht + inter_vc_s, after_shares)
+
+            for helper in range(self.num_vc):
+                if helper == responder:
+                    continue
+                arrival = t + inter_vc_s
+
+                def submit_helper(ht: float, helper=helper) -> None:
+                    machine_for(helper).submit(
+                        ht, self.model.helper_vote_pending_ms(self.num_vc),
+                        helper_finished, engine,
+                    )
+                    # Off-critical-path reconstruction work on the helper.
+                    machine_for(helper).submit(
+                        ht, self.model.helper_background_ms(self.num_vc),
+                        lambda _t: None, engine,
+                    )
+
+                engine.schedule(arrival, submit_helper)
+
+        def after_shares(t: float) -> None:
+            # Stage 5: the responder reconstructs the receipt and replies.
+            machine_for(responder).submit(
+                t, self.model.responder_reconstruct_ms(self.num_vc), after_reconstruct, engine
+            )
+
+        def after_reconstruct(t: float) -> None:
+            engine.schedule(t + client_hop_s, on_finished)
+
+        engine.schedule(begin + client_hop_s, after_request_hop)
+
+    # -- closed loop (the paper's methodology) -------------------------------------
+
+    def run(
+        self,
+        target_votes: Optional[int] = None,
+        warmup_votes: Optional[int] = None,
+    ) -> LoadResult:
+        """Run until ``target_votes`` measured votes complete (after warm-up)."""
+        if target_votes is None:
+            target_votes = max(2_000, 2 * self.num_clients)
+        if warmup_votes is None:
+            warmup_votes = max(200, self.num_clients // 2)
+
+        engine = _Engine()
+        machines, disks = self._make_cluster()
+
+        completed: List[float] = []          # latencies of measured votes
+        state = {"completed": 0, "measure_start": None, "measure_end": None}
+        total_needed = warmup_votes + target_votes
 
         def start_vote(client_id: int, at: float) -> None:
             responder = self.rng.randrange(self.num_vc)
             begin = at
-
-            # Stage 1: request travels to the responder and is validated there.
-            def after_request_hop(t: float) -> None:
-                submit_with_disk(
-                    responder, t, self.model.responder_initial_ms(), after_initial
-                )
-
-            def after_initial(t: float) -> None:
-                # Stage 2: ENDORSE round; we need the (quorum-1)-th helper reply.
-                helper_done_times: List[float] = []
-                pending = {"count": 0}
-
-                def helper_finished(ht: float) -> None:
-                    helper_done_times.append(ht)
-                    pending["count"] += 1
-                    if pending["count"] == self.quorum - 1:
-                        reply_at = ht + inter_vc_s
-                        engine.schedule(reply_at, after_endorsements)
-
-                for helper in range(self.num_vc):
-                    if helper == responder:
-                        continue
-                    arrival = t + inter_vc_s
-
-                    def submit_helper(ht: float, helper=helper) -> None:
-                        submit_with_disk(
-                            helper, ht, self.model.helper_endorse_ms(), helper_finished
-                        )
-
-                    engine.schedule(arrival, submit_helper)
-
-            def after_endorsements(t: float) -> None:
-                # Stage 3: the responder verifies the endorsements, builds the UCERT.
-                machine_for(responder).submit(
-                    t, self.model.responder_certificate_ms(self.num_vc), after_ucert, engine
-                )
-
-            def after_ucert(t: float) -> None:
-                # Stage 4: VOTE_P round; again wait for the quorum of helpers.
-                pending = {"count": 0}
-
-                def helper_finished(ht: float) -> None:
-                    pending["count"] += 1
-                    if pending["count"] == self.quorum - 1:
-                        engine.schedule(ht + inter_vc_s, after_shares)
-
-                for helper in range(self.num_vc):
-                    if helper == responder:
-                        continue
-                    arrival = t + inter_vc_s
-
-                    def submit_helper(ht: float, helper=helper) -> None:
-                        machine_for(helper).submit(
-                            ht, self.model.helper_vote_pending_ms(self.num_vc),
-                            helper_finished, engine,
-                        )
-                        # Off-critical-path reconstruction work on the helper.
-                        machine_for(helper).submit(
-                            ht, self.model.helper_background_ms(self.num_vc),
-                            lambda _t: None, engine,
-                        )
-
-                    engine.schedule(arrival, submit_helper)
-
-            def after_shares(t: float) -> None:
-                # Stage 5: the responder reconstructs the receipt and replies.
-                machine_for(responder).submit(
-                    t, self.model.responder_reconstruct_ms(self.num_vc), after_reconstruct, engine
-                )
-
-            def after_reconstruct(t: float) -> None:
-                engine.schedule(t + client_hop_s, vote_finished)
 
             def vote_finished(t: float) -> None:
                 state["completed"] += 1
@@ -262,7 +342,7 @@ class VoteCollectionLoadSimulator:
                 if state["completed"] < total_needed:
                     engine.schedule(t, lambda t2: start_vote(client_id, t2))
 
-            engine.schedule(begin + client_hop_s, after_request_hop)
+            self._start_vote_pipeline(engine, machines, disks, responder, begin, vote_finished)
 
         # Clients start within the first simulated 100 ms, like the paper's
         # client threads released by a common start signal.
@@ -274,7 +354,7 @@ class VoteCollectionLoadSimulator:
         measure_start = state["measure_start"] if state["measure_start"] is not None else 0.0
         measure_end = state["measure_end"] if state["measure_end"] is not None else engine.now
         duration = max(measure_end - measure_start, 1e-9)
-        latencies = completed or [0.0]
+        latencies = sorted(completed or [0.0])
         return LoadResult(
             num_vc=self.num_vc,
             num_clients=self.num_clients,
@@ -283,7 +363,81 @@ class VoteCollectionLoadSimulator:
             throughput_ops=len(completed) / duration,
             mean_latency_s=statistics.fmean(latencies),
             median_latency_s=statistics.median(latencies),
-            p95_latency_s=sorted(latencies)[int(0.95 * (len(latencies) - 1))],
+            p50_latency_s=_percentile(latencies, 0.50),
+            p95_latency_s=_percentile(latencies, 0.95),
+            p99_latency_s=_percentile(latencies, 0.99),
+            network_name=self.model.network.name,
+        )
+
+    # -- open loop (arrival-driven, with bounded admission) ------------------------
+
+    def run_open_loop(
+        self,
+        arrival_times: Sequence[float],
+        admission_depth: Optional[int] = None,
+        arrival_name: str = "custom",
+    ) -> OpenLoopResult:
+        """Drive the vote pipeline from an external arrival stream.
+
+        ``arrival_times`` is a sorted list of submission instants (seconds),
+        typically produced by an :mod:`repro.perf.arrivals` process.  Each
+        arrival targets a uniformly random responder; a responder with
+        ``admission_depth`` votes already in flight sheds the arrival at the
+        door (counted, not retried -- the open loop measures raw admission
+        capacity; retry behaviour lives in :mod:`repro.core.voter`).
+        ``admission_depth=None`` disables shedding, so queues grow without
+        bound under overload -- the contrast with a bounded run is the point.
+        """
+        if admission_depth is not None and admission_depth < 1:
+            raise ValueError("admission depth must be at least 1 (or None for unbounded)")
+
+        engine = _Engine()
+        machines, disks = self._make_cluster()
+
+        in_flight = [0] * self.num_vc
+        latencies: List[float] = []
+        stats = {"offered": 0, "shed": 0, "peak": 0, "last_finish": 0.0}
+
+        def arrive(at: float) -> None:
+            stats["offered"] += 1
+            responder = self.rng.randrange(self.num_vc)
+            if admission_depth is not None and in_flight[responder] >= admission_depth:
+                stats["shed"] += 1
+                return
+            in_flight[responder] += 1
+            stats["peak"] = max(stats["peak"], max(in_flight))
+
+            def vote_finished(t: float) -> None:
+                in_flight[responder] -= 1
+                latencies.append(t - at)
+                stats["last_finish"] = max(stats["last_finish"], t)
+
+            self._start_vote_pipeline(engine, machines, disks, responder, at, vote_finished)
+
+        for at in arrival_times:
+            engine.schedule(at, arrive)
+
+        engine.run(lambda: False)  # drain every admitted vote
+
+        offered = stats["offered"]
+        admitted = offered - stats["shed"]
+        completed = len(latencies)
+        first = arrival_times[0] if len(arrival_times) else 0.0
+        duration = max(stats["last_finish"] - first, 1e-9)
+        ordered = sorted(latencies or [0.0])
+        return OpenLoopResult(
+            num_vc=self.num_vc,
+            arrival_process=arrival_name,
+            offered=offered,
+            admitted=admitted,
+            shed=stats["shed"],
+            completed=completed,
+            duration_s=duration,
+            throughput_ops=completed / duration,
+            p50_latency_s=_percentile(ordered, 0.50),
+            p95_latency_s=_percentile(ordered, 0.95),
+            p99_latency_s=_percentile(ordered, 0.99),
+            peak_in_flight=stats["peak"],
             network_name=self.model.network.name,
         )
 

@@ -1,0 +1,108 @@
+"""Tests for the seeded arrival-process generators."""
+
+import pytest
+
+from repro.perf.arrivals import (
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    SlowDripArrivals,
+    expected_count,
+    iter_batches,
+    superpose,
+)
+
+ALL_PROCESSES = [
+    PoissonArrivals(rate_per_s=20.0, seed=5),
+    DiurnalArrivals(mean_rate_per_s=20.0, amplitude=0.6, period_s=120.0, seed=5),
+    FlashCrowdArrivals(base_rate_per_s=10.0, spike_factor=8.0,
+                       spike_start_s=30.0, spike_duration_s=20.0, seed=5),
+    SlowDripArrivals(rate_per_s=5.0, seed=5),
+]
+
+
+class TestDeterminismAndValidity:
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_same_seed_same_stream(self, process):
+        assert process.times(60.0) == process.times(60.0)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_times_sorted_and_in_window(self, process):
+        times = process.times(60.0)
+        assert times == sorted(times)
+        assert all(0.0 <= t < 60.0 for t in times)
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate_per_s=20.0, seed=1).times(60.0)
+        b = PoissonArrivals(rate_per_s=20.0, seed=2).times(60.0)
+        assert a != b
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(mean_rate_per_s=10.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdArrivals(base_rate_per_s=10.0, spike_factor=0.5)
+        with pytest.raises(ValueError):
+            SlowDripArrivals(rate_per_s=5.0, jitter=0.9)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_s=10.0).times(-1.0)
+        with pytest.raises(ValueError):
+            superpose()
+
+
+class TestStatisticalShape:
+    """Coarse sanity checks against the analytic expected counts."""
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_count_close_to_expectation(self, process):
+        duration = 300.0
+        expected = expected_count(process, duration)
+        observed = len(process.times(duration))
+        assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_flash_crowd_concentrates_in_spike(self):
+        process = FlashCrowdArrivals(base_rate_per_s=5.0, spike_factor=20.0,
+                                     spike_start_s=40.0, spike_duration_s=20.0, seed=9)
+        times = process.times(100.0)
+        in_spike = sum(1 for t in times if 40.0 <= t < 60.0)
+        # Spike window is 20% of the run but carries 20x the rate: the
+        # majority of arrivals must land inside it.
+        assert in_spike / len(times) > 0.6
+
+    def test_diurnal_peak_beats_trough(self):
+        process = DiurnalArrivals(mean_rate_per_s=30.0, amplitude=0.8,
+                                  period_s=200.0, seed=9)
+        times = process.times(200.0)
+        peak = sum(1 for t in times if 25.0 <= t < 75.0)      # around sin max
+        trough = sum(1 for t in times if 125.0 <= t < 175.0)  # around sin min
+        assert peak > 2 * trough
+
+    def test_slow_drip_is_evenly_spaced(self):
+        process = SlowDripArrivals(rate_per_s=2.0, jitter=0.1, seed=9)
+        times = process.times(50.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(0.4 <= gap <= 0.6 for gap in gaps)  # 0.5 s +/- jitter
+
+
+class TestComposition:
+    def test_superposition_merges_components(self):
+        drip = SlowDripArrivals(rate_per_s=2.0, seed=3)
+        burst = FlashCrowdArrivals(base_rate_per_s=5.0, spike_factor=10.0,
+                                   spike_start_s=10.0, spike_duration_s=5.0, seed=3)
+        mix = superpose(drip, burst)
+        times = mix.times(30.0)
+        assert times == sorted(times)
+        assert len(times) == len(drip.times(30.0)) + len(burst.times(30.0))
+        assert mix.name == "slow-drip+flash-crowd"
+        assert expected_count(mix, 30.0) == pytest.approx(
+            expected_count(drip, 30.0) + expected_count(burst, 30.0)
+        )
+
+    def test_iter_batches_partitions_stream(self):
+        times = PoissonArrivals(rate_per_s=10.0, seed=4).times(20.0)
+        batches = list(iter_batches(times, window_s=1.0))
+        assert sum(len(b) for b in batches) == len(times)
+        for i, batch in enumerate(batches):
+            assert all(i * 1.0 <= t < (i + 1) * 1.0 for t in batch)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.perf.arrivals import PoissonArrivals
 from repro.perf.costmodel import CostModel, DatabaseCosts, NetworkProfile
 from repro.perf.loadsim import VoteCollectionLoadSimulator, sweep_vc_counts
 
@@ -31,7 +32,13 @@ class TestBasicBehaviour:
     def test_as_row_contains_figure_columns(self):
         row = quick_run().as_row()
         assert set(row) == {"num_vc", "num_clients", "throughput_ops",
-                            "mean_latency_s", "p95_latency_s"}
+                            "mean_latency_s", "p50_latency_s", "p95_latency_s",
+                            "p99_latency_s"}
+
+    def test_percentiles_are_ordered(self):
+        result = quick_run()
+        assert result.p50_latency_s <= result.p95_latency_s <= result.p99_latency_s
+        assert result.p50_latency_s == pytest.approx(result.median_latency_s, rel=0.05)
 
     def test_rejects_invalid_configurations(self):
         with pytest.raises(ValueError):
@@ -82,3 +89,43 @@ class TestFigureShapes:
         results = sweep_vc_counts([4, 7], [50, 100], CostModel, target_votes=150)
         assert len(results) == 4
         assert {(r.num_vc, r.num_clients) for r in results} == {(4, 50), (4, 100), (7, 50), (7, 100)}
+
+
+class TestOpenLoop:
+    """The arrival-driven mode behind the voting-throughput benchmark."""
+
+    def open_run(self, rate=50.0, depth=None, seed=3, duration=20.0):
+        times = PoissonArrivals(rate_per_s=rate, seed=seed).times(duration)
+        simulator = VoteCollectionLoadSimulator(4, 1, CostModel(), seed=seed)
+        return simulator.run_open_loop(times, admission_depth=depth, arrival_name="poisson")
+
+    def test_underloaded_run_sheds_nothing(self):
+        result = self.open_run(rate=50.0, depth=64)
+        assert result.shed == 0
+        assert result.completed == result.offered == result.admitted
+        assert result.throughput_ops > 0
+
+    def test_counters_reconcile(self):
+        result = self.open_run(rate=3000.0, depth=4, duration=3.0)
+        assert result.admitted == result.offered - result.shed
+        assert result.completed == result.admitted
+        assert 0.0 <= result.shed_rate <= 1.0
+
+    def test_overload_sheds_with_bounded_depth(self):
+        bounded = self.open_run(rate=3000.0, depth=4, duration=3.0)
+        unbounded = self.open_run(rate=3000.0, depth=None, duration=3.0)
+        assert bounded.shed > 0
+        assert unbounded.shed == 0
+        assert bounded.peak_in_flight <= 4
+        # Backpressure trades completed votes for bounded latency.
+        assert bounded.p99_latency_s < unbounded.p99_latency_s
+
+    def test_open_loop_as_row_columns(self):
+        row = self.open_run().as_row()
+        assert set(row) == {"num_vc", "arrival_process", "offered", "admitted",
+                            "shed", "shed_rate", "throughput_ops", "p50_latency_s",
+                            "p95_latency_s", "p99_latency_s", "peak_in_flight"}
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            self.open_run(depth=0)
