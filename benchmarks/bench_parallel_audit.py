@@ -22,6 +22,7 @@ Results land in ``benchmarks/results/parallel_audit.json``; see
 from __future__ import annotations
 
 import os
+import pickle
 import time
 
 import pytest
@@ -222,8 +223,38 @@ class _PerItemSignatureChunk:
         return serial_signatures(chunk)
 
 
+def run_submit_overhead_rows():
+    """Pickled bytes per submitted chunk: initializer-shipped fn vs legacy.
+
+    ``parallel_chunk_map`` ships the chunk function through the pool
+    *initializer* (once per worker process) and pickles only ``(chunk,
+    seed)`` per submission; the legacy scheduler re-pickled ``(chunk_fn,
+    chunk, seed)`` with every chunk.  The saving is the function's pickled
+    size times the number of chunks -- measured here on the real batched
+    audit task so a future change that sneaks the function back into the
+    per-task payload fails the gate.
+    """
+    items = make_signature_items(min(NUM_SIGNATURES, 64))
+    task = SignatureBatchTask()
+    chunk, seed = items, 12345
+    fn_bytes = len(pickle.dumps(task))
+    per_submit_now = len(pickle.dumps((chunk, seed)))
+    per_submit_legacy = len(pickle.dumps((task, chunk, seed)))
+    return [
+        {
+            "kind": "submit-overhead",
+            "payload": "signatures",
+            "num_items": len(items),
+            "fn_bytes_once_per_worker": fn_bytes,
+            "per_chunk_bytes_now": per_submit_now,
+            "per_chunk_bytes_legacy": per_submit_legacy,
+            "saved_per_chunk": per_submit_legacy - per_submit_now,
+        }
+    ]
+
+
 def run_sweep():
-    return run_verify_rows() + run_worker_rows()
+    return run_verify_rows() + run_worker_rows() + run_submit_overhead_rows()
 
 
 @pytest.mark.benchmark(group="parallel-audit")
@@ -254,3 +285,16 @@ def test_parallel_audit_speedup(benchmark, results_sink):
     # runs on fixed-base tables), so tolerate scheduler noise on CI runners
     # while still catching a real regression.
     assert verify_rows["openings"]["speedup"] >= 0.75, "batch slower than serial for openings"
+    # Submit-overhead gate: the per-chunk pickle payload must no longer carry
+    # the chunk function (it ships once, via the pool initializer) -- every
+    # submitted chunk is strictly smaller than the legacy (fn, chunk, seed)
+    # payload by at least the function's pickled size.
+    show(
+        "Per-chunk submit payload (initializer-shipped fn vs legacy)",
+        [row for row in rows if row["kind"] == "submit-overhead"],
+    )
+    overhead = next(row for row in rows if row["kind"] == "submit-overhead")
+    assert overhead["saved_per_chunk"] > 0, (
+        "per-chunk submissions appear to re-pickle the chunk function"
+    )
+    assert overhead["fn_bytes_once_per_worker"] > 0

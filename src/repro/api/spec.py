@@ -805,12 +805,23 @@ class ShardingProfile:
     pipeline (``MultiElectionService.run_sharded``): collectors per shard,
     Vote Set Consensus superblock size, and the deterministic turnout
     fraction of the derived electorate.
+
+    ``workers`` selects the execution mode of the scale pipeline: 1 (the
+    default) runs shards sequentially in-process; >1 runs shard slices
+    concurrently on a warm process pool
+    (:class:`repro.shard.ParallelShardedElectionDriver`) with outcomes
+    bit-identical to the sequential run by construction.
+    ``max_inflight_shards`` bounds how many shards may be pending at once
+    under the pool (``None`` = twice the worker count), capping the
+    parallel run's peak memory at O(inflight x shard).
     """
 
     num_shards: int = 1
     scale_collectors: int = 4
     scale_batch_size: int = 1024
     scale_turnout: float = 1.0
+    workers: int = 1
+    max_inflight_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -821,10 +832,19 @@ class ShardingProfile:
             raise ValueError("scale_batch_size must be at least 1")
         if not 0.0 < self.scale_turnout <= 1.0:
             raise ValueError("scale_turnout must be in (0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.max_inflight_shards is not None and self.max_inflight_shards < 1:
+            raise ValueError("max_inflight_shards must be at least 1 (or None)")
 
     @property
     def enabled(self) -> bool:
         return self.num_shards > 1
+
+    @property
+    def parallel(self) -> bool:
+        """Whether the scale pipeline runs shard slices on a process pool."""
+        return self.workers > 1
 
     def plan(self, num_serials: int):
         """The shard plan over serials ``[0, num_serials)``."""
@@ -838,15 +858,20 @@ class ShardingProfile:
             "scale_collectors": self.scale_collectors,
             "scale_batch_size": self.scale_batch_size,
             "scale_turnout": self.scale_turnout,
+            "workers": self.workers,
+            "max_inflight_shards": self.max_inflight_shards,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ShardingProfile":
+        max_inflight = data.get("max_inflight_shards")
         return cls(
             num_shards=int(data.get("num_shards", 1)),
             scale_collectors=int(data.get("scale_collectors", 4)),
             scale_batch_size=int(data.get("scale_batch_size", 1024)),
             scale_turnout=float(data.get("scale_turnout", 1.0)),
+            workers=int(data.get("workers", 1)),
+            max_inflight_shards=None if max_inflight is None else int(max_inflight),
         )
 
 
@@ -1135,6 +1160,7 @@ class ScenarioSpec:
             database=costmodel.DatabaseCosts() if self.storage == "postgres" else None,
             num_ballots=self.electorate,
             num_options=self.num_options,
+            num_shards=self.sharding.num_shards,
         )
         kwargs.update(overrides)
         return costmodel.CostModel(**kwargs)

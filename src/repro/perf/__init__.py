@@ -44,10 +44,17 @@ from repro.perf.costmodel import (
     DatabaseCosts,
     MachineSpec,
     NetworkProfile,
+    ShardingCosts,
 )
 from repro.perf.loadsim import LoadResult, OpenLoopResult, VoteCollectionLoadSimulator
 from repro.perf.memory import MemorySample, MemoryTracker, current_rss_bytes
-from repro.perf.parallel import ParallelConfig, parallel_map, parallel_reduce
+from repro.perf.parallel import (
+    ParallelConfig,
+    PoolTaskError,
+    WarmProcessPool,
+    parallel_map,
+    parallel_reduce,
+)
 from repro.perf.phases import PhaseDurations, PhaseRecorder, phase_breakdown
 
 __all__ = [
@@ -73,6 +80,9 @@ __all__ = [
     "MemoryTracker",
     "current_rss_bytes",
     "ParallelConfig",
+    "PoolTaskError",
+    "ShardingCosts",
+    "WarmProcessPool",
     "parallel_map",
     "parallel_reduce",
     "PhaseDurations",

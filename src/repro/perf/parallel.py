@@ -14,19 +14,26 @@ scheduling primitive all of them share:
   operators (each worker folds one chunk; the parent folds the partials);
 * :func:`chunk_seeds` -- deterministic per-chunk RNG seeds, so randomized
   work (e.g. the small exponents of batch verification) is reproducible for
-  a fixed ``(base_seed, chunk_size)`` regardless of the worker count.
+  a fixed ``(base_seed, chunk_size)`` regardless of the worker count;
+* :class:`WarmProcessPool` -- a *persistent* pool for long-lived pipelines
+  (the parallel shard driver): workers run a one-time initializer (group
+  construction, fixed-base tables) and then serve many submissions, with
+  :meth:`WarmProcessPool.imap_unordered` streaming results back in
+  completion order under a bounded-inflight submission window.
 
 Workers receive *chunks*, not single items, so pickling cost is paid once
-per chunk; callables handed to the process path must be module-level
-functions (the usual pickle restriction).
+per chunk; the chunk function itself crosses the process boundary exactly
+once, via the pool initializer, not with every chunk.  Callables handed to
+the process path must be picklable module-level functions or instances of
+module-level classes (the usual pickle restriction).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.crypto.utils import default_random, sha256
 
@@ -136,18 +143,46 @@ def parallel_chunk_map(
     if config.use_serial(len(items)):
         return [chunk_fn(chunk, seed) for chunk, seed in zip(chunks, seeds, strict=True)]
     workers = min(config.resolved_workers(), len(chunks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    tasks = list(zip(chunks, seeds, strict=True))
+    # The chunk function crosses the process boundary exactly once, via the
+    # worker initializer; each submitted task pickles only (chunk, seed).
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_chunk_worker, initargs=(chunk_fn,)
+    ) as pool:
         return list(
-            pool.map(_call_chunk, [(chunk_fn, c, s) for c, s in zip(chunks, seeds, strict=True)])
+            pool.map(_call_chunk, tasks, chunksize=submit_chunksize(len(tasks), workers))
         )
 
 
-def _call_chunk(
-    packed: Tuple[Callable[[Sequence[ItemT], int], ResultT], Sequence[ItemT], int],
-) -> ResultT:
+def submit_chunksize(num_tasks: int, workers: int) -> int:
+    """``chunksize`` for ``pool.map``: ~4 submission batches per worker.
+
+    Batching submissions amortizes the executor's per-task queue/wakeup
+    overhead without hurting load balance (each worker still gets several
+    batches).  This only groups *submissions*; chunk boundaries -- and
+    therefore per-chunk seeds and results -- are untouched.
+    """
+    if num_tasks < 1 or workers < 1:
+        raise ValueError("num_tasks and workers must be at least 1")
+    return max(1, num_tasks // (workers * 4))
+
+
+#: per-worker chunk function installed by :func:`_init_chunk_worker`.
+_CHUNK_WORKER_FN: Optional[Callable] = None
+
+
+def _init_chunk_worker(chunk_fn: Callable) -> None:
+    """Pool initializer: ship the chunk function to each worker once."""
+    global _CHUNK_WORKER_FN
+    _CHUNK_WORKER_FN = chunk_fn
+
+
+def _call_chunk(packed: Tuple[Sequence[ItemT], int]) -> ResultT:
     """Module-level trampoline: ``pool.map`` needs a top-level function."""
-    chunk_fn, chunk, seed = packed
-    return chunk_fn(chunk, seed)
+    if _CHUNK_WORKER_FN is None:
+        raise RuntimeError("chunk worker used before its initializer ran")
+    chunk, seed = packed
+    return _CHUNK_WORKER_FN(chunk, seed)
 
 
 def parallel_map(
@@ -203,3 +238,131 @@ class _ReduceChunk:
         for item in chunk[1:]:
             total = self.combine(total, item)
         return total
+
+
+class PoolTaskError(RuntimeError):
+    """One submitted task raised inside its worker.
+
+    Carries the original ``task`` object so the caller can name what failed
+    (the shard driver turns this into "shard N failed"); the worker-side
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, task: Any, cause: BaseException):
+        super().__init__(f"pool task failed: {cause!r}")
+        self.task = task
+
+
+class WarmProcessPool:
+    """A persistent process pool whose workers warm up exactly once.
+
+    ``ProcessPoolExecutor`` as used by :func:`parallel_chunk_map` lives for
+    one map call; pipelines that issue many rounds of work (the parallel
+    shard driver, pool-reusing tests) want the opposite: spawn workers once,
+    run ``initializer(*initargs)`` in each (group construction, fixed-base
+    tables, scheme derivation -- the expensive per-process state), then keep
+    submitting until :meth:`shutdown`.
+
+    The executor is created lazily on first use, so constructing a pool is
+    free; ``initargs`` stays exposed as a fingerprint letting callers verify
+    a shared pool was warmed for the state they expect.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+    ):
+        self.workers = ParallelConfig(workers=workers).resolved_workers()
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: highest number of simultaneously-pending tasks observed by the
+        #: most recent :meth:`imap_unordered` drive (the memory-bound probe).
+        self.peak_inflight = 0
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        return self._executor
+
+    def submit(self, fn: Callable[..., ResultT], *args: Any) -> "Future[ResultT]":
+        """Submit one task; the pool (and its warm workers) persist after it."""
+        return self._ensure().submit(fn, *args)
+
+    def imap_unordered(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        tasks: Iterable[ItemT],
+        max_inflight: Optional[int] = None,
+    ) -> Iterator[Tuple[ItemT, ResultT]]:
+        """Yield ``(task, result)`` pairs in *completion* order.
+
+        At most ``max_inflight`` tasks (default ``2 * workers``) are pending
+        at any moment -- submission is demand-driven, so peak memory for
+        task payloads and un-consumed results is O(inflight), not O(tasks).
+        A worker exception cancels everything still pending and raises
+        :class:`PoolTaskError` naming the failed task; the pool itself stays
+        usable afterwards.
+        """
+        queue = list(tasks)
+        self.peak_inflight = 0
+        if not queue:
+            return
+        if max_inflight is None:
+            max_inflight = 2 * self.workers
+        max_inflight = max(1, max_inflight)
+        executor = self._ensure()
+        backlog = iter(queue)
+        pending: Dict[Future, ItemT] = {}
+
+        def submit_next() -> bool:
+            task = next(backlog, _EXHAUSTED)
+            if task is _EXHAUSTED:
+                return False
+            pending[executor.submit(fn, task)] = task
+            self.peak_inflight = max(self.peak_inflight, len(pending))
+            return True
+
+        while len(pending) < max_inflight and submit_next():
+            pass
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                try:
+                    result = future.result()
+                except BaseException as exc:
+                    for straggler in pending:
+                        straggler.cancel()
+                    raise PoolTaskError(task, exc) from exc
+                # Refill before yielding: the next slice starts while the
+                # caller is still folding this one into the merge.
+                while len(pending) < max_inflight and submit_next():
+                    pass
+                yield task, result
+
+    def shutdown(self, wait_for_workers: bool = True) -> None:
+        """Stop the workers; the next use spawns (and re-warms) fresh ones."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait_for_workers, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WarmProcessPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+#: sentinel distinguishing "backlog exhausted" from a legitimate None task.
+_EXHAUSTED = object()

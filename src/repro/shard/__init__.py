@@ -7,16 +7,21 @@ per-shard tally commitments and combines them homomorphically into the global
 tally (``streaming``) without ever materializing all ballots at once.
 """
 
+from repro.shard.driver import ShardedElectionDriver, ShardedElectionOutcome
+from repro.shard.merge import CrossShardCommit, ShardCommitReport, verify_shard_records
+from repro.shard.parallel_driver import (
+    ParallelShardedElectionDriver,
+    ShardExecutionError,
+    shard_worker_pool,
+)
 from repro.shard.partition import ShardPlan, ShardRange, sharded_partition
 from repro.shard.records import GlobalCommitRecord, ShardCommitRecord
+from repro.shard.shard_runner import ShardRunner, ShardSliceResult, VoteCodeRejected
 from repro.shard.streaming import (
     StreamingCommitmentCombiner,
     StreamingOpeningCombiner,
     StreamingTally,
 )
-from repro.shard.merge import CrossShardCommit, ShardCommitReport, verify_shard_records
-from repro.shard.shard_runner import ShardRunner, ShardSliceResult
-from repro.shard.driver import ShardedElectionDriver, ShardedElectionOutcome
 
 __all__ = [
     "ShardPlan",
@@ -32,6 +37,10 @@ __all__ = [
     "verify_shard_records",
     "ShardRunner",
     "ShardSliceResult",
+    "VoteCodeRejected",
     "ShardedElectionDriver",
     "ShardedElectionOutcome",
+    "ParallelShardedElectionDriver",
+    "ShardExecutionError",
+    "shard_worker_pool",
 ]

@@ -21,12 +21,61 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.tally import TallyResult
 from repro.crypto.commitments import OptionEncodingScheme
+from repro.crypto.group import Group
 from repro.crypto.utils import int_to_bytes
 from repro.net.codec import MessageCodec, default_codec
 from repro.shard.merge import CrossShardCommit, ShardCommitReport, verify_shard_records
 from repro.shard.partition import ShardPlan
 from repro.shard.records import GlobalCommitRecord
 from repro.shard.shard_runner import ShardRunner, ShardSliceResult
+
+
+def derive_scheme(group: Group, num_options: int, seed: int) -> OptionEncodingScheme:
+    """The commitment scheme every shard (and the merge) works under.
+
+    The public key is derived from the election seed; its secret is never
+    used -- openings travel as explicit (values, randomness) pairs, exactly
+    like the full simulator's trustee path.  Module-level so pool workers
+    derive the *identical* scheme from ``(backend, num_options, seed)``
+    without pickling any group state.
+    """
+    public_key = group.power_g(group.hash_to_scalar(b"shard-pk", int_to_bytes(seed)))
+    return OptionEncodingScheme(num_options, public_key, group)
+
+
+def commit_and_verify(
+    merge: CrossShardCommit,
+    scheme: OptionEncodingScheme,
+    election_id: str,
+    options: Tuple[str, ...],
+    codec: MessageCodec,
+):
+    """COMMIT phase shared by both drivers: commit, re-verify, open the tally.
+
+    Returns ``(tally, global_record, report)``; raises if the published
+    commit fails the independent re-verification.
+    """
+    global_record = merge.commit(election_id)
+    records = tuple(merge.records_in_order())
+    problems = tuple(verify_shard_records(scheme, records, global_record, codec))
+    tally = merge.open_merged_tally(options)
+    report = ShardCommitReport(records, global_record, problems)
+    if not report.ok:
+        raise RuntimeError(f"cross-shard commit failed verification: {list(problems)}")
+    return tally, global_record, report
+
+
+def shard_stat_row(result: ShardSliceResult) -> dict:
+    """The per-shard statistics row both drivers publish in ``shard_stats``."""
+    return {
+        "shard_id": result.shard_id,
+        "ballots_registered": result.record.ballots_registered,
+        "ballots_cast": result.ballots_cast,
+        "messages_sent": result.messages_sent,
+        "superblocks_fast": result.superblocks_fast,
+        "superblocks_fallback": result.superblocks_fallback,
+        "duration_s": result.duration_s,
+    }
 
 
 @dataclass
@@ -85,17 +134,10 @@ class ShardedElectionDriver:
         self.plan = ShardPlan.split(0, self.num_ballots, self.sharding.num_shards)
 
     def build_scheme(self) -> OptionEncodingScheme:
-        """The commitment scheme every shard (and the merge) works under.
-
-        The public key is derived from the election seed; its secret is never
-        used — openings travel as explicit (values, randomness) pairs, exactly
-        like the full simulator's trustee path.
-        """
-        group = self.spec.crypto.build_group()
-        public_key = group.power_g(
-            group.hash_to_scalar(b"shard-pk", int_to_bytes(self.spec.seed))
+        """The commitment scheme for this driver's election (see :func:`derive_scheme`)."""
+        return derive_scheme(
+            self.spec.crypto.build_group(), len(self.spec.options), self.spec.seed
         )
-        return OptionEncodingScheme(len(self.spec.options), public_key, group)
 
     def run(self) -> ShardedElectionOutcome:
         started = time.perf_counter()
@@ -115,34 +157,16 @@ class ShardedElectionDriver:
             )
             result = runner.run()
             merge.prepare(result.record, result.opening)
-            shard_stats.append(
-                {
-                    "shard_id": result.shard_id,
-                    "ballots_registered": result.record.ballots_registered,
-                    "ballots_cast": result.ballots_cast,
-                    "messages_sent": result.messages_sent,
-                    "superblocks_fast": result.superblocks_fast,
-                    "superblocks_fallback": result.superblocks_fallback,
-                    "duration_s": result.duration_s,
-                }
-            )
+            shard_stats.append(shard_stat_row(result))
             if self.on_shard is not None:
                 self.on_shard(result)
             # The runner (opinion/decision dicts included) dies here; only the
             # O(num_options) record + opening survive into the merge.
             del runner, result
 
-        global_record = merge.commit(self.spec.election_id)
-        records = tuple(merge.records_in_order())
-        problems = tuple(
-            verify_shard_records(scheme, records, global_record, self.codec)
+        tally, global_record, report = commit_and_verify(
+            merge, scheme, self.spec.election_id, tuple(self.spec.options), self.codec
         )
-        tally = merge.open_merged_tally(self.spec.options)
-        report = ShardCommitReport(records, global_record, problems)
-        if not report.ok:
-            raise RuntimeError(
-                f"cross-shard commit failed verification: {list(problems)}"
-            )
         return ShardedElectionOutcome(
             election_id=self.spec.election_id,
             options=tuple(self.spec.options),

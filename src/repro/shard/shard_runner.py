@@ -30,15 +30,33 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.consensus.cluster import ConsensusCluster
 from repro.crypto.commitments import CommitmentOpening, OptionEncodingScheme
 from repro.crypto.utils import int_to_bytes, sha256
-from repro.net.codec import MessageCodec, default_codec
+from repro.net.codec import MessageCodec, WireFormatError, default_codec
 from repro.shard.partition import ShardRange
 from repro.shard.records import ShardCommitRecord
 from repro.shard.streaming import StreamingTally
+
+
+class VoteCodeRejected(RuntimeError):
+    """A submitted vote code does not open the EA's salted commitment."""
+
+    def __init__(self, shard_id: int, serial: int):
+        super().__init__(
+            f"shard {shard_id}: vote code for serial {serial} does not match "
+            f"the EA's salted commitment"
+        )
+        self.shard_id = shard_id
+        self.serial = serial
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted message)
+        # into ``__init__``, which takes (shard_id, serial) -- rebuild from
+        # the attributes instead so the error survives the process boundary.
+        return (VoteCodeRejected, (self.shard_id, self.serial))
 
 
 @dataclass(frozen=True)
@@ -62,6 +80,57 @@ class ShardSliceResult:
     def ballots_cast(self) -> int:
         return self.record.ballots_cast
 
+    # -- process-boundary transfer ---------------------------------------------
+
+    def to_wire_dict(self) -> dict:
+        """Codec frame + plain scalars: the process-boundary form.
+
+        Group elements must not cross a process boundary as pickles -- the
+        gmpy2 backend's ``mpz`` values have no pickle-stable identity and the
+        curve backends carry backend-specific element classes.  The record
+        travels as its canonical codec frame (tag 0x60) and the opening as
+        builtin ints, so the transfer works identically on every backend.
+        """
+        return {
+            "record_frame": self.record_frame,
+            "opening_values": tuple(int(v) for v in self.opening.values),
+            "opening_randomness": tuple(int(r) for r in self.opening.randomness),
+            "counts": tuple(int(count) for count in self.counts),
+            "messages_sent": self.messages_sent,
+            "superblocks_fast": self.superblocks_fast,
+            "superblocks_fallback": self.superblocks_fallback,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_wire_dict(
+        cls, data: Mapping, codec: Optional[MessageCodec] = None
+    ) -> "ShardSliceResult":
+        """Rebuild a result from :meth:`to_wire_dict` output.
+
+        Pass a codec constructed with the election's group so the decoded
+        commitment's elements live in the caller's backend.
+        """
+        codec = codec or default_codec()
+        frame = data["record_frame"]
+        record = codec.decode(frame)
+        if not isinstance(record, ShardCommitRecord):
+            raise WireFormatError(
+                f"expected a ShardCommitRecord frame, decoded {type(record).__name__}"
+            )
+        return cls(
+            record=record,
+            opening=CommitmentOpening(
+                tuple(data["opening_values"]), tuple(data["opening_randomness"])
+            ),
+            record_frame=frame,
+            counts=tuple(data["counts"]),
+            messages_sent=int(data["messages_sent"]),
+            superblocks_fast=int(data["superblocks_fast"]),
+            superblocks_fallback=int(data["superblocks_fallback"]),
+            duration_s=float(data["duration_s"]),
+        )
+
 
 class ShardRunner:
     """Run the election slice for one contiguous ballot-serial range."""
@@ -77,6 +146,7 @@ class ShardRunner:
         turnout: float = 1.0,
         silent_collectors: Sequence[int] = (),
         codec: Optional[MessageCodec] = None,
+        tampered_codes: Optional[Mapping[int, bytes]] = None,
     ):
         if num_collectors < 1:
             raise ValueError("a shard needs at least one vote collector")
@@ -93,6 +163,8 @@ class ShardRunner:
         self.turnout = turnout
         self.silent_collectors = tuple(silent_collectors)
         self.codec = codec or default_codec()
+        #: fault-injection hook: serial -> the (wrong) code that voter submits.
+        self.tampered_codes = dict(tampered_codes or {})
         self._seed_bytes = int_to_bytes(seed)
         self._id_bytes = election_id.encode("utf-8")
         # Turnout threshold on one derived byte: cast iff digest byte < cut.
@@ -127,28 +199,53 @@ class ShardRunner:
             for coordinate in range(self.scheme.num_options)
         )
 
+    def _submitted_code(self, serial: int, digest: bytes) -> bytes:
+        """What the voter hands in: the true code, unless tampered with."""
+        return self.tampered_codes.get(serial, self._vote_code(digest))
+
+    def ea_commitment_table(self) -> List[Optional[bytes]]:
+        """EA setup: the salted code commitment of every castable serial.
+
+        Indexed by ``serial - lo``; ``None`` marks serials whose derived
+        voter abstains.  This table is what admission checks submitted codes
+        *against* -- it must exist before any vote is accepted, exactly like
+        the EA's published election data in the full simulator.  O(shard)
+        32-byte entries.
+        """
+        table: List[Optional[bytes]] = []
+        for serial in range(self.shard.lo, self.shard.hi):
+            digest = self._ballot_digest(serial)
+            if self.is_cast(digest):
+                table.append(self._code_commitment(serial, self._vote_code(digest)))
+            else:
+                table.append(None)
+        return table
+
     # -- the slice -------------------------------------------------------------
 
     def run(self) -> ShardSliceResult:
         started = time.perf_counter()
 
+        # Phase 0: EA setup.  The salted commitment table for the whole range
+        # is fixed before admission starts, so the admission check below
+        # compares the *submitted* code against an independent, precomputed
+        # commitment (not against a value re-derived from the same code).
+        committed = self.ea_commitment_table()
+
         # Phase 1: admission.  The responsible collector re-derives the salted
-        # code commitment and checks the submitted vote code against it; every
-        # collector records its opinion bit for Vote Set Consensus.
+        # commitment of the submitted code and checks it against the EA table;
+        # every collector records its opinion bit for Vote Set Consensus.
         opinions = {}
         for serial in range(self.shard.lo, self.shard.hi):
             digest = self._ballot_digest(serial)
             if self.is_cast(digest):
-                code = self._vote_code(digest)
-                # The EA's setup-time salted commitment and the collector's
-                # admission-time recomputation (one SHA each, as in the full
-                # simulator's VoteCollectorNode.check).
-                stored_commitment = self._code_commitment(serial, code)
-                if self._code_commitment(serial, code) != stored_commitment:
-                    raise RuntimeError(f"vote code rejected for serial {serial}")
+                code = self._submitted_code(serial, digest)
+                if self._code_commitment(serial, code) != committed[serial - self.shard.lo]:
+                    raise VoteCodeRejected(self.shard.shard_id, serial)
                 opinions[serial] = 1
             else:
                 opinions[serial] = 0
+        del committed
 
         # Phase 2: superblock Vote Set Consensus among the shard's collectors.
         cluster = ConsensusCluster(

@@ -244,6 +244,9 @@ class TestShardingProfile:
         profile = ShardingProfile()
         assert profile.num_shards == 1
         assert not profile.enabled
+        assert profile.workers == 1
+        assert not profile.parallel
+        assert profile.max_inflight_shards is None
 
     def test_validates_fields(self):
         with pytest.raises(ValueError):
@@ -252,12 +255,34 @@ class TestShardingProfile:
             ShardingProfile(scale_collectors=0)
         with pytest.raises(ValueError):
             ShardingProfile(scale_turnout=1.5)
+        with pytest.raises(ValueError):
+            ShardingProfile(workers=0)
+        with pytest.raises(ValueError):
+            ShardingProfile(max_inflight_shards=0)
+
+    def test_parallel_requires_more_than_one_worker(self):
+        assert not ShardingProfile(workers=1).parallel
+        assert ShardingProfile(workers=2).parallel
+        # an inflight cap alone does not switch execution modes
+        assert not ShardingProfile(max_inflight_shards=2).parallel
 
     def test_round_trips_through_dicts(self):
         profile = ShardingProfile(num_shards=8, scale_batch_size=256, scale_turnout=0.7)
         assert ShardingProfile.from_dict(profile.to_dict()) == profile
         spec = ScenarioSpec(sharding=profile)
         assert ScenarioSpec.from_dict(spec.to_dict()).sharding == profile
+
+    def test_parallel_fields_round_trip_through_dicts(self):
+        profile = ShardingProfile(num_shards=8, workers=4, max_inflight_shards=2)
+        assert ShardingProfile.from_dict(profile.to_dict()) == profile
+        spec = ScenarioSpec(sharding=profile)
+        assert ScenarioSpec.from_dict(spec.to_dict()).sharding == profile
+
+    def test_from_dict_tolerates_missing_parallel_fields(self):
+        """Specs serialized before the parallel mode existed stay loadable."""
+        profile = ShardingProfile.from_dict({"num_shards": 4})
+        assert profile.workers == 1
+        assert profile.max_inflight_shards is None
 
     def test_plan_covers_the_electorate(self):
         plan = ShardingProfile(num_shards=4).plan(1000)

@@ -1,17 +1,22 @@
-"""Tests for the chunked process-pool scheduler."""
+"""Tests for the chunked process-pool scheduler and the warm pool."""
 
 import operator
+import os
+import time
 
 import pytest
 
 from repro.perf.parallel import (
     DEFAULT_MAX_CHUNK,
     ParallelConfig,
+    PoolTaskError,
+    WarmProcessPool,
     chunk_seeds,
     parallel_chunk_map,
     parallel_map,
     parallel_reduce,
     split_chunks,
+    submit_chunksize,
 )
 
 
@@ -23,6 +28,31 @@ def square(value):
 def chunk_sum_with_seed(chunk, seed):
     """Module-level chunk function recording the seed it was handed."""
     return (sum(chunk), seed)
+
+
+_WARMED = None
+
+
+def _warm(value):
+    """Module-level pool initializer recording its argument per worker."""
+    global _WARMED
+    _WARMED = value
+
+
+def read_warmed(task):
+    """Returns what the initializer installed in this worker, plus the task."""
+    return (_WARMED, task)
+
+
+def slow_square(value):
+    time.sleep(0.01)
+    return value * value
+
+
+def fail_on_seven(value):
+    if value == 7:
+        raise ValueError("seven is right out")
+    return value
 
 
 class TestConfig:
@@ -118,3 +148,77 @@ class TestMapAndReduce:
     def test_reduce_empty_raises(self):
         with pytest.raises(ValueError):
             parallel_reduce(operator.add, [])
+
+
+class TestSubmitChunksize:
+    def test_four_batches_per_worker(self):
+        assert submit_chunksize(80, 2) == 10
+        assert submit_chunksize(400, 4) == 25
+
+    def test_never_below_one(self):
+        assert submit_chunksize(3, 8) == 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            submit_chunksize(0, 2)
+        with pytest.raises(ValueError):
+            submit_chunksize(10, 0)
+
+
+class TestWarmProcessPool:
+    def test_lazy_start_and_shutdown(self):
+        pool = WarmProcessPool(workers=1)
+        assert not pool.started
+        assert pool.submit(square, 6).result() == 36
+        assert pool.started
+        pool.shutdown()
+        assert not pool.started
+        # usable again after shutdown: the next call re-warms fresh workers
+        assert pool.submit(square, 7).result() == 49
+        pool.shutdown()
+
+    def test_initializer_runs_once_per_worker_not_per_task(self):
+        """The warm state is installed by the initializer and visible to
+        every task that lands on the worker afterwards."""
+        with WarmProcessPool(workers=1, initializer=_warm, initargs=("hot",)) as pool:
+            results = dict(pool.imap_unordered(read_warmed, range(5)))
+        assert results == {task: ("hot", task) for task in range(5)}
+
+    def test_initargs_exposed_as_fingerprint(self):
+        pool = WarmProcessPool(workers=1, initializer=_warm, initargs=["a", 2])
+        assert pool.initargs == ("a", 2)
+
+    def test_imap_unordered_returns_every_pair(self):
+        with WarmProcessPool(workers=2) as pool:
+            pairs = dict(pool.imap_unordered(square, range(20)))
+        assert pairs == {task: task * task for task in range(20)}
+
+    def test_imap_unordered_empty(self):
+        with WarmProcessPool(workers=1) as pool:
+            assert list(pool.imap_unordered(square, [])) == []
+            assert pool.peak_inflight == 0
+
+    def test_max_inflight_bounds_pending_tasks(self):
+        with WarmProcessPool(workers=2) as pool:
+            list(pool.imap_unordered(slow_square, range(12), max_inflight=2))
+            assert pool.peak_inflight == 2
+            list(pool.imap_unordered(slow_square, range(12), max_inflight=1))
+            assert pool.peak_inflight == 1
+
+    def test_default_inflight_is_twice_the_workers(self):
+        with WarmProcessPool(workers=2) as pool:
+            list(pool.imap_unordered(slow_square, range(12)))
+            assert pool.peak_inflight <= 4
+
+    def test_worker_exception_names_the_task(self):
+        with WarmProcessPool(workers=2) as pool:
+            with pytest.raises(PoolTaskError) as excinfo:
+                list(pool.imap_unordered(fail_on_seven, range(10), max_inflight=2))
+            assert excinfo.value.task == 7
+            assert isinstance(excinfo.value.__cause__, ValueError)
+            # the pool survives the failure
+            assert dict(pool.imap_unordered(square, [3])) == {3: 9}
+
+    def test_resolves_default_worker_count(self):
+        pool = WarmProcessPool()
+        assert pool.workers == max(os.cpu_count() or 1, 1)
